@@ -1,0 +1,100 @@
+//! Experiment driver: regenerates every results figure of the paper.
+//!
+//! ```text
+//! experiments [--paper] [--out DIR] <fig1a|fig1b|fig7|fig8|fig9|fig10|fig11|fig12|headline|all>
+//! ```
+//!
+//! `--paper` runs at the paper's full sizes (16 GiB IOR files, ≈1.7 GB
+//! BTIO); the default quick scale is shape-identical. Tables print to
+//! stdout; JSON records land in `--out` (default `results/`).
+
+use harl_bench::{
+    abl_model, abl_multiapp, abl_profiles, abl_region, abl_step, abl_straggler, fig10, fig11, fig12, fig1a, fig1b, fig7, fig8,
+    fig9, headline, Scale,
+};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [--paper] [--out DIR] \
+         <fig1a|fig1b|fig7|fig8|fig9|fig10|fig11|fig12|headline|\
+         abl-region|abl-step|abl-model|abl-profiles|abl-straggler|abl-multiapp|all|ablations>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut scale = Scale::quick();
+    let mut out_dir = PathBuf::from("results");
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--paper" => scale = Scale::paper(),
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage()));
+            }
+            "--help" | "-h" => usage(),
+            name => targets.push(name.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        usage();
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = [
+            "fig1a", "fig1b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "headline",
+            "abl-region", "abl-step", "abl-model", "abl-profiles", "abl-straggler", "abl-multiapp",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    } else if targets.iter().any(|t| t == "ablations") {
+        targets = [
+            "abl-region", "abl-step", "abl-model", "abl-profiles", "abl-straggler",
+            "abl-multiapp",
+        ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    for target in &targets {
+        let started = std::time::Instant::now();
+        let result = match target.as_str() {
+            "fig1a" => fig1a(&scale),
+            "fig1b" => fig1b(&scale),
+            "fig7" => fig7(&scale),
+            "fig8" => fig8(&scale),
+            "fig9" => fig9(&scale),
+            "fig10" => fig10(&scale),
+            "fig11" => fig11(&scale),
+            "fig12" => fig12(&scale),
+            "headline" => headline(&scale),
+            "abl-region" => abl_region(&scale),
+            "abl-step" => abl_step(&scale),
+            "abl-model" => abl_model(&scale),
+            "abl-profiles" => abl_profiles(&scale),
+            "abl-straggler" => abl_straggler(&scale),
+            "abl-multiapp" => abl_multiapp(&scale),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                usage();
+            }
+        };
+        print!("{}", result.text);
+        let path = out_dir.join(format!("{target}.json"));
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&result.json).expect("serialise"),
+        )
+        .expect("write result JSON");
+        println!(
+            "[{target}: {:.1}s, wrote {}]",
+            started.elapsed().as_secs_f64(),
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! `harl-cli` — operate on HARL's on-disk artifacts.
+//!
+//! The paper's implementation stores trace files, the RST and the R2F next
+//! to the application. This tool inspects and produces those artifacts:
+//!
+//! ```text
+//! harl-cli trace-info  <trace.jsonl>
+//! harl-cli plan        <trace.jsonl> --file-size BYTES [--hservers M]
+//!                      [--sservers N] [--out rst.json] [--region-size B]
+//! harl-cli inspect     <rst.json>
+//! harl-cli simulate    <trace.jsonl> <rst.json> [--hservers M] [--sservers N]
+//! ```
+//!
+//! Sizes accept suffixes `K`, `M`, `G` (binary).
+
+use harl_core::{
+    divide_regions, size_histogram, summarize, summarize_records, CostModelParams, HarlPolicy,
+    LayoutPolicy, RegionDivisionConfig, RegionStripeTable, Trace,
+};
+use harl_devices::CalibrationConfig;
+use harl_middleware::{run_workload, CollectiveConfig};
+use harl_pfs::ClusterConfig;
+use harl_simcore::ByteSize;
+use harl_workloads::replay;
+use std::path::{Path, PathBuf};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  harl-cli trace-info <trace.jsonl>\n  harl-cli plan <trace.jsonl> \
+         --file-size BYTES [--hservers M] [--sservers N] [--out rst.json] [--region-size B]\n  \
+         harl-cli inspect <rst.json>\n  harl-cli simulate <trace.jsonl> <rst.json> \
+         [--hservers M] [--sservers N]"
+    );
+    std::process::exit(2);
+}
+
+/// Parse "64K" / "16M" / "2G" / plain bytes.
+fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (num, mult) = match s.chars().last()? {
+        'K' | 'k' => (&s[..s.len() - 1], 1024u64),
+        'M' | 'm' => (&s[..s.len() - 1], 1 << 20),
+        'G' | 'g' => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().ok().map(|n| n * mult)
+}
+
+struct Opts {
+    positional: Vec<String>,
+    file_size: Option<u64>,
+    hservers: usize,
+    sservers: usize,
+    out: Option<PathBuf>,
+    region_size: Option<u64>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut opts = Opts {
+        positional: Vec::new(),
+        file_size: None,
+        hservers: 6,
+        sservers: 2,
+        out: None,
+        region_size: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--file-size" => {
+                opts.file_size = it.next().and_then(|v| parse_size(v));
+                if opts.file_size.is_none() {
+                    usage();
+                }
+            }
+            "--hservers" => {
+                opts.hservers = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--sservers" => {
+                opts.sservers = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--out" => opts.out = it.next().map(PathBuf::from),
+            "--region-size" => {
+                opts.region_size = it.next().and_then(|v| parse_size(v));
+                if opts.region_size.is_none() {
+                    usage();
+                }
+            }
+            other if other.starts_with("--") => usage(),
+            other => opts.positional.push(other.to_string()),
+        }
+    }
+    opts
+}
+
+fn load_trace(path: &str) -> Trace {
+    Trace::load_from_path(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot read trace {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn load_rst(path: &str) -> RegionStripeTable {
+    RegionStripeTable::load_from_path(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot read RST {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn cmd_trace_info(opts: &Opts) {
+    let [path] = opts.positional.as_slice() else { usage() };
+    let trace = load_trace(path);
+    let summary = summarize(&trace);
+    println!("{}", summary.render());
+    println!("\nrequest-size histogram:");
+    for (upper, count) in size_histogram(&trace).nonzero_buckets() {
+        println!("  <= {:>10}: {count}", ByteSize(upper + 1).to_string());
+    }
+    // Show what Algorithm 1 would do.
+    let sorted = trace.sorted_by_offset();
+    let file_size = opts.file_size.unwrap_or_else(|| trace.extent().max(1));
+    let mut cfg = RegionDivisionConfig::default();
+    if let Some(rs) = opts.region_size {
+        cfg.fixed_region_size = rs;
+    }
+    let regions = divide_regions(&sorted, file_size, &cfg);
+    println!("\nAlgorithm 1 division ({} region(s)):", regions.len());
+    for (i, (region, summary)) in regions
+        .iter()
+        .zip(harl_core::analysis::summarize_regions(&sorted, &regions))
+        .enumerate()
+    {
+        println!(
+            "  region {i} [{}, {}): {}",
+            ByteSize(region.offset),
+            ByteSize(region.end),
+            summary.render()
+        );
+    }
+}
+
+fn cmd_plan(opts: &Opts) {
+    let [path] = opts.positional.as_slice() else { usage() };
+    let trace = load_trace(path);
+    let file_size = opts
+        .file_size
+        .unwrap_or_else(|| trace.extent().max(1));
+    let cluster = ClusterConfig::hybrid(opts.hservers, opts.sservers);
+    let model =
+        CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
+    let mut policy = HarlPolicy::new(model);
+    if let Some(rs) = opts.region_size {
+        policy.division.fixed_region_size = rs;
+    }
+    let rst = policy.plan(&trace, file_size);
+    print_rst(&rst);
+    if let Some(out) = &opts.out {
+        rst.save_to_path(out).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        });
+        println!("wrote {}", out.display());
+    }
+}
+
+fn print_rst(rst: &RegionStripeTable) {
+    println!(
+        "{:<8} {:>14} {:>14} {:>10} {:>10}",
+        "region", "offset", "length", "h", "s"
+    );
+    for (i, e) in rst.entries().iter().enumerate() {
+        println!(
+            "{:<8} {:>14} {:>14} {:>10} {:>10}",
+            i,
+            ByteSize(e.offset).to_string(),
+            ByteSize(e.len).to_string(),
+            ByteSize(e.h).to_string(),
+            ByteSize(e.s).to_string()
+        );
+    }
+}
+
+fn cmd_inspect(opts: &Opts) {
+    let [path] = opts.positional.as_slice() else { usage() };
+    let rst = load_rst(path);
+    print_rst(&rst);
+    println!("file size: {}", ByteSize(rst.file_size()));
+}
+
+fn cmd_simulate(opts: &Opts) {
+    let [trace_path, rst_path] = opts.positional.as_slice() else { usage() };
+    let trace = load_trace(trace_path);
+    let rst = load_rst(rst_path);
+    let cluster = ClusterConfig::hybrid(opts.hservers, opts.sservers);
+    let workload = replay(&trace);
+    let report = run_workload(&cluster, &rst, &workload, &CollectiveConfig::default());
+    println!(
+        "replayed {} requests: {:.1} MiB/s over {}",
+        report.requests_completed,
+        report.throughput_mib_s(),
+        report.makespan
+    );
+    println!("per-server busy (normalised): {:?}", report
+        .normalized_server_times()
+        .iter()
+        .map(|x| (x * 100.0).round() / 100.0)
+        .collect::<Vec<_>>());
+    let summary = summarize_records(trace.records());
+    println!("trace pattern: {}", summary.pattern_label());
+
+    // A coarse utilisation sparkline per server over the run.
+    let blocks = [' ', '.', ':', '-', '=', '#'];
+    for s in &report.servers {
+        let util = s.busy_series.utilisation();
+        let active = (report.makespan.as_nanos() / s.busy_series.width.as_nanos() + 1)
+            .min(util.len() as u64) as usize;
+        let line: String = util[..active]
+            .iter()
+            .map(|&u| blocks[((u.min(1.0)) * (blocks.len() - 1) as f64).round() as usize])
+            .collect();
+        println!("server {:>2} busy |{line}|", s.id);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else { usage() };
+    let opts = parse_opts(rest);
+    match cmd.as_str() {
+        "trace-info" => cmd_trace_info(&opts),
+        "plan" => cmd_plan(&opts),
+        "inspect" => cmd_inspect(&opts),
+        "simulate" => cmd_simulate(&opts),
+        _ => usage(),
+    }
+}

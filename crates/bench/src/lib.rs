@@ -1,0 +1,24 @@
+//! # harl-bench — the experiment harness
+//!
+//! One function per results figure of the paper (Figs. 1, 7–12), each
+//! printing the same rows/series the paper plots and returning a JSON
+//! value that the `experiments` binary writes under `results/`.
+//!
+//! Two scales are provided: [`Scale::quick`] (default; ~2 GiB IOR files,
+//! reduced BTIO grid — minutes for the full suite) and [`Scale::paper`]
+//! (the paper's 16 GiB files and ≈1.7 GB BTIO). Throughput is
+//! bytes/makespan either way; the *shape* of every comparison is scale
+//! invariant because all runs reach steady state within a few hundred
+//! requests.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablations;
+pub mod support;
+pub mod figures;
+pub mod harness;
+
+pub use ablations::*;
+pub use figures::*;
+pub use harness::{PolicyOutcome, Scale};

@@ -1,0 +1,47 @@
+//! # harl-core — the HARL heterogeneity-aware region-level data layout
+//!
+//! The paper's contribution, end to end:
+//!
+//! 1. **Tracing** ([`trace`]) — collect `(rank, fd, op, offset, size, time)`
+//!    records (the IOSIG stand-in) and sort them by offset.
+//! 2. **Analysis**:
+//!    * [`region`] — Algorithm 1: CV-driven division of the file into
+//!      regions of similar workload, with threshold adaptation;
+//!    * [`model`] — the Sec. III-D cost model (Table I, Eqs. 1–8), exact
+//!      sub-request geometry plus the paper's Fig. 5 case table;
+//!    * [`optimizer`] — Algorithm 2: per-region grid search for the optimal
+//!      `(h, s)` stripe pair, parallelised and deterministic.
+//! 3. **Placement** ([`rst`], [`policy`]) — the Region Stripe Table and the
+//!    policies the paper evaluates (fixed, random, segment-level, HARL).
+//!
+//! Extensions from the paper's discussion/future work live in
+//! [`migration`] (SServer space balancing), [`multiprofile`] (more than
+//! two server performance profiles) and [`online`] (on-line drift
+//! detection and re-layout).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod migration;
+pub mod model;
+pub mod multiprofile;
+pub mod online;
+pub mod optimizer;
+pub mod policy;
+pub mod region;
+pub mod rst;
+pub mod trace;
+
+pub use model::{case_a_params, server_loads, CostModelParams, ServerLoads};
+pub use optimizer::{optimize_region, OptimizerConfig, RegionRequests, StripeChoice};
+pub use policy::{
+    FixedPolicy, HarlPolicy, LayoutPolicy, RandomPolicy, SegmentPolicy, ServerLevelPolicy,
+};
+pub use region::{divide_regions, Region, RegionDivisionConfig};
+pub use analysis::{size_histogram, summarize, summarize_records, TraceSummary};
+pub use migration::{projected_sserver_bytes, BalanceOutcome, SpaceBalancer};
+pub use multiprofile::{ClassParams, MultiProfileModel, MultiProfileOptimizer};
+pub use online::{AdaptationEvent, OnlineConfig, OnlineMonitor};
+pub use rst::{RegionStripeTable, RstEntry};
+pub use trace::{Trace, TraceRecord};

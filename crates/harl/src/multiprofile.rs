@@ -1,0 +1,475 @@
+//! K-profile extension — the paper's stated future work: *"we would like
+//! to extend our cost model to accommodate more than two server
+//! performance profiles."*
+//!
+//! The two-class cost structure of Sec. III-D generalises directly: a
+//! request's cost is still `T_X + T_S + T_T`, with each term the maximum
+//! over the K classes of the class's network/startup/transfer component.
+//! What does not generalise is Algorithm 2's 2-D grid — K nested loops are
+//! exponential — so the [`MultiProfileOptimizer`] uses coordinate descent:
+//! optimise one class's stripe width at a time (a 1-D scan identical in
+//! spirit to the paper's loops) and iterate to a fixed point. On two-class
+//! inputs it recovers the same optima as the exhaustive grid (see the
+//! tests), and the fixed point is deterministic.
+
+use crate::model::CostModelParams;
+use harl_devices::{NetworkProfile, OpKind, OpParams, StorageProfile};
+use harl_pfs::ClusterConfig;
+use serde::{Deserialize, Serialize};
+
+/// One server class in the K-profile model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassParams {
+    /// Servers in the class.
+    pub count: usize,
+    /// Read-path parameters.
+    pub read: OpParams,
+    /// Write-path parameters.
+    pub write: OpParams,
+}
+
+/// The K-class cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiProfileModel {
+    /// Per-class parameters, in server-id order.
+    pub classes: Vec<ClassParams>,
+    /// Network per-byte time (seconds/byte).
+    pub t_s_per_byte: f64,
+}
+
+impl MultiProfileModel {
+    /// Build from a cluster of any number of classes.
+    pub fn from_cluster(cluster: &ClusterConfig) -> Self {
+        MultiProfileModel {
+            classes: cluster
+                .classes
+                .iter()
+                .map(|c| ClassParams {
+                    count: c.count,
+                    read: c.profile.read,
+                    write: c.profile.write,
+                })
+                .collect(),
+            t_s_per_byte: cluster.network.t_s_per_byte,
+        }
+    }
+
+    /// Build from explicit profiles.
+    pub fn new(
+        network: &NetworkProfile,
+        classes: Vec<(usize, StorageProfile)>,
+    ) -> Self {
+        MultiProfileModel {
+            classes: classes
+                .into_iter()
+                .map(|(count, p)| ClassParams {
+                    count,
+                    read: p.read,
+                    write: p.write,
+                })
+                .collect(),
+            t_s_per_byte: network.t_s_per_byte,
+        }
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Per-class `(max_load, servers_touched)` for a request under
+    /// per-class widths (exact round-robin geometry, as in the two-class
+    /// [`crate::server_loads`]).
+    pub fn class_loads(&self, offset: u64, size: u64, widths: &[u64]) -> Vec<(u64, usize)> {
+        assert_eq!(widths.len(), self.classes.len(), "one width per class");
+        let group: u64 = self
+            .classes
+            .iter()
+            .zip(widths)
+            .map(|(c, &w)| c.count as u64 * w)
+            .sum();
+        assert!(group > 0, "layout has no capacity");
+        if size == 0 {
+            return vec![(0, 0); self.classes.len()];
+        }
+        let end = offset + size;
+        let below = |x: u64, base: u64, w: u64| -> u64 {
+            if w == 0 {
+                return 0;
+            }
+            (x / group) * w + (x % group).saturating_sub(base).min(w)
+        };
+        let mut out = Vec::with_capacity(self.classes.len());
+        let mut base = 0u64;
+        for (c, &w) in self.classes.iter().zip(widths) {
+            let mut max_load = 0;
+            let mut touched = 0;
+            for i in 0..c.count {
+                let seg = base + i as u64 * w;
+                let b = below(end, seg, w) - below(offset, seg, w);
+                if b > 0 {
+                    touched += 1;
+                    max_load = max_load.max(b);
+                }
+            }
+            out.push((max_load, touched));
+            base += c.count as u64 * w;
+        }
+        out
+    }
+
+    /// Cost of one request under per-class widths (the generalised
+    /// Eqs. 7/8).
+    pub fn request_cost(&self, offset: u64, size: u64, op: OpKind, widths: &[u64]) -> f64 {
+        if size == 0 {
+            return 0.0;
+        }
+        let loads = self.class_loads(offset, size, widths);
+        let mut t_x: f64 = 0.0;
+        let mut t_s: f64 = 0.0;
+        let mut t_t: f64 = 0.0;
+        for (c, &(load, touched)) in self.classes.iter().zip(&loads) {
+            let p = match op {
+                OpKind::Read => &c.read,
+                OpKind::Write => &c.write,
+            };
+            t_x = t_x.max(load as f64 * self.t_s_per_byte);
+            if touched > 0 {
+                let k = touched as f64;
+                t_s = t_s.max(p.alpha_min_s + k / (k + 1.0) * (p.alpha_max_s - p.alpha_min_s));
+            }
+            t_t = t_t.max(load as f64 * p.beta_s_per_byte);
+        }
+        t_x + t_s + t_t
+    }
+}
+
+impl From<&CostModelParams> for MultiProfileModel {
+    /// The two-class model as a K = 2 instance.
+    fn from(p: &CostModelParams) -> Self {
+        MultiProfileModel {
+            classes: vec![
+                ClassParams {
+                    count: p.m,
+                    read: p.h_read,
+                    write: p.h_write,
+                },
+                ClassParams {
+                    count: p.n,
+                    read: p.s_read,
+                    write: p.s_write,
+                },
+            ],
+            t_s_per_byte: p.t_s_per_byte,
+        }
+    }
+}
+
+/// Coordinate-descent stripe optimizer over K classes.
+#[derive(Debug, Clone)]
+pub struct MultiProfileOptimizer {
+    /// The platform model.
+    pub model: MultiProfileModel,
+    /// Grid step per axis scan.
+    pub step: u64,
+    /// Maximum grid points per axis scan.
+    pub max_grid_points: usize,
+    /// Maximum full descent sweeps.
+    pub max_sweeps: usize,
+}
+
+impl MultiProfileOptimizer {
+    /// A default-configured optimizer for the model.
+    pub fn new(model: MultiProfileModel) -> Self {
+        MultiProfileOptimizer {
+            model,
+            step: 4 * 1024,
+            max_grid_points: 128,
+            max_sweeps: 16,
+        }
+    }
+
+    fn effective_step(&self, avg: u64) -> u64 {
+        let min_step = avg.div_ceil(self.max_grid_points.max(1) as u64);
+        self.step * min_step.div_ceil(self.step).max(1)
+    }
+
+    fn total_cost(&self, sample: &[(u64, u64, OpKind)], widths: &[u64]) -> f64 {
+        sample
+            .iter()
+            .map(|&(o, r, op)| self.model.request_cost(o, r, op, widths))
+            .sum()
+    }
+
+    /// Optimise per-class widths for a region's request sample (offsets
+    /// region-relative) with average request size `avg`.
+    ///
+    /// Returns `(widths, cost)`. Deterministic: descent runs from several
+    /// fixed starting points (balanced, bandwidth-proportional, and one
+    /// per-class-favoured start), axes are scanned in class order, ties
+    /// prefer larger widths, and the best fixed point wins.
+    pub fn optimize(&self, sample: &[(u64, u64, OpKind)], avg: u64) -> (Vec<u64>, f64) {
+        let k = self.model.class_count();
+        assert!(k > 0, "no classes");
+        let step = self.effective_step(avg.max(1));
+        let r_bar = avg.max(step).div_ceil(step) * step;
+
+        let zero_out = |mut w: Vec<u64>| -> Vec<u64> {
+            for (c, wi) in self.model.classes.iter().zip(w.iter_mut()) {
+                if c.count == 0 {
+                    *wi = 0;
+                }
+            }
+            w
+        };
+        let balanced = zero_out(vec![r_bar.div_ceil(k as u64 * step) * step; k]);
+        assert!(
+            balanced.iter().any(|&w| w > 0),
+            "no servers in any class"
+        );
+        if sample.is_empty() {
+            return (balanced, 0.0);
+        }
+
+        // Starting points: balanced, read-bandwidth-proportional, and each
+        // class alone at R̄.
+        let mut starts: Vec<Vec<u64>> = vec![balanced];
+        let inv_beta: Vec<f64> = self
+            .model
+            .classes
+            .iter()
+            .map(|c| {
+                if c.read.beta_s_per_byte > 0.0 {
+                    1.0 / c.read.beta_s_per_byte
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let total_inv: f64 = self
+            .model
+            .classes
+            .iter()
+            .zip(&inv_beta)
+            .map(|(c, &b)| c.count as f64 * b)
+            .sum();
+        if total_inv > 0.0 {
+            let proportional: Vec<u64> = inv_beta
+                .iter()
+                .map(|&b| {
+                    let w = (r_bar as f64 * b / total_inv) as u64;
+                    w.div_ceil(step).max(1) * step
+                })
+                .collect();
+            starts.push(zero_out(proportional));
+        }
+        for solo in 0..k {
+            if self.model.classes[solo].count == 0 {
+                continue;
+            }
+            let mut w = vec![0u64; k];
+            w[solo] = r_bar;
+            starts.push(w);
+        }
+
+        starts
+            .into_iter()
+            .filter(|w| {
+                self.model
+                    .classes
+                    .iter()
+                    .zip(w)
+                    .any(|(c, &wi)| c.count > 0 && wi > 0)
+            })
+            .map(|start| self.descend(sample, start, step, r_bar))
+            .reduce(|a, b| {
+                if b.1 < a.1 || (b.1 == a.1 && b.0 > a.0) {
+                    b
+                } else {
+                    a
+                }
+            })
+            .expect("at least one valid start")
+    }
+
+    /// One coordinate-descent run from a fixed starting point.
+    fn descend(
+        &self,
+        sample: &[(u64, u64, OpKind)],
+        mut widths: Vec<u64>,
+        step: u64,
+        r_bar: u64,
+    ) -> (Vec<u64>, f64) {
+        let k = widths.len();
+        let mut best_cost = self.total_cost(sample, &widths);
+
+        for _sweep in 0..self.max_sweeps {
+            let mut improved = false;
+            for axis in 0..k {
+                if self.model.classes[axis].count == 0 {
+                    continue;
+                }
+                let mut best_w = widths[axis];
+                let mut w = 0u64;
+                while w <= r_bar + step {
+                    let saved = widths[axis];
+                    widths[axis] = w;
+                    let valid = self
+                        .model
+                        .classes
+                        .iter()
+                        .zip(&widths)
+                        .any(|(c, &cw)| c.count > 0 && cw > 0);
+                    if valid {
+                        let cost = self.total_cost(sample, &widths);
+                        if cost < best_cost || (cost == best_cost && w > best_w) {
+                            if cost < best_cost {
+                                improved = true;
+                            }
+                            best_cost = cost;
+                            best_w = w;
+                        }
+                    }
+                    widths[axis] = saved;
+                    w += step;
+                }
+                widths[axis] = best_w;
+            }
+            if !improved {
+                break;
+            }
+        }
+        (widths, best_cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{optimize_region, OptimizerConfig, RegionRequests};
+    use crate::trace::TraceRecord;
+    use harl_devices::{hdd_2015_preset, nvme_2020_preset, ssd_2015_preset};
+    use harl_simcore::SimNanos;
+
+    const KB: u64 = 1024;
+
+    fn sample(n: usize, size: u64, op: OpKind) -> Vec<(u64, u64, OpKind)> {
+        (0..n).map(|i| (i as u64 * size, size, op)).collect()
+    }
+
+    fn two_class_model() -> MultiProfileModel {
+        MultiProfileModel::from(&CostModelParams::from_cluster(
+            &ClusterConfig::paper_default(),
+        ))
+    }
+
+    #[test]
+    fn two_class_cost_matches_pair_model() {
+        let pair = CostModelParams::from_cluster(&ClusterConfig::paper_default());
+        let multi = MultiProfileModel::from(&pair);
+        for (o, r) in [(0u64, 512 * KB), (123 * KB, 512 * KB), (7, 130_000)] {
+            for op in OpKind::ALL {
+                let a = pair.request_cost(o, r, op, 32 * KB, 160 * KB);
+                let b = multi.request_cost(o, r, op, &[32 * KB, 160 * KB]);
+                assert!((a - b).abs() < 1e-15, "cost mismatch at ({o},{r},{op})");
+            }
+        }
+    }
+
+    #[test]
+    fn coordinate_descent_matches_grid_on_two_classes() {
+        let pair = CostModelParams::from_cluster(&ClusterConfig::paper_default());
+        let records: Vec<TraceRecord> = (0..32)
+            .map(|i| TraceRecord {
+                rank: 0,
+                fd: 0,
+                op: OpKind::Read,
+                offset: i as u64 * 512 * KB,
+                size: 512 * KB,
+                timestamp: SimNanos::ZERO,
+            })
+            .collect();
+        let grid = optimize_region(
+            &pair,
+            &RegionRequests::new(&records, 0),
+            512 * KB,
+            &OptimizerConfig {
+                threads: 1,
+                ..OptimizerConfig::default()
+            },
+        );
+        let opt = MultiProfileOptimizer::new(MultiProfileModel::from(&pair));
+        let (widths, cost) = opt.optimize(&sample(32, 512 * KB, OpKind::Read), 512 * KB);
+        // Coordinate descent can stop at a local optimum; it must get
+        // within a few percent of the exhaustive grid and produce the same
+        // qualitative shape (s >> h).
+        assert!(
+            cost <= grid.cost * 1.05,
+            "descent cost {cost} vs grid {g}",
+            g = grid.cost
+        );
+        assert!(widths[1] > widths[0], "SSD class must get larger stripes");
+    }
+
+    #[test]
+    fn three_classes_order_by_speed() {
+        // HDD / SSD / NVMe: faster classes should be assigned larger (or
+        // equal) stripes.
+        let cluster = ClusterConfig::hybrid(4, 2).with_extra_class(2, nvme_2020_preset());
+        let model = MultiProfileModel::from_cluster(&cluster);
+        assert_eq!(model.class_count(), 3);
+        let opt = MultiProfileOptimizer::new(model);
+        let (widths, cost) = opt.optimize(&sample(32, 512 * KB, OpKind::Read), 512 * KB);
+        assert!(cost.is_finite());
+        assert!(
+            widths[2] >= widths[1] && widths[1] >= widths[0],
+            "stripe order should follow device speed: {widths:?}"
+        );
+        assert!(widths[2] > widths[0], "NVMe must out-stripe HDD");
+    }
+
+    #[test]
+    fn loads_conservation_k_classes() {
+        let model = MultiProfileModel::new(
+            &NetworkProfile::gigabit_ethernet(),
+            vec![
+                (2, hdd_2015_preset()),
+                (2, ssd_2015_preset()),
+                (1, nvme_2020_preset()),
+            ],
+        );
+        let widths = [16 * KB, 64 * KB, 128 * KB];
+        let loads = model.class_loads(0, 288 * KB, &widths);
+        // Group = 2*16 + 2*64 + 128 = 288 KiB: one full group.
+        assert_eq!(loads[0], (16 * KB, 2));
+        assert_eq!(loads[1], (64 * KB, 2));
+        assert_eq!(loads[2], (128 * KB, 1));
+    }
+
+    #[test]
+    fn zero_count_class_is_skipped() {
+        let model = MultiProfileModel::new(
+            &NetworkProfile::gigabit_ethernet(),
+            vec![(0, hdd_2015_preset()), (2, ssd_2015_preset())],
+        );
+        let opt = MultiProfileOptimizer::new(model);
+        let (widths, cost) = opt.optimize(&sample(8, 128 * KB, OpKind::Read), 128 * KB);
+        assert_eq!(widths[0], 0);
+        assert!(widths[1] > 0);
+        assert!(cost.is_finite());
+    }
+
+    #[test]
+    fn empty_sample_returns_balanced_default() {
+        let opt = MultiProfileOptimizer::new(two_class_model());
+        let (widths, cost) = opt.optimize(&[], 128 * KB);
+        assert_eq!(cost, 0.0);
+        assert!(widths.iter().all(|&w| w > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one width per class")]
+    fn width_count_mismatch_panics() {
+        two_class_model().class_loads(0, 1, &[4 * KB]);
+    }
+}

@@ -1,0 +1,406 @@
+//! On-line layout adaptation — the paper's closing future work: *"explore
+//! on-line data layout and data migration methods to make heterogeneous
+//! I/O systems more intelligent and efficient."*
+//!
+//! HARL is an off-line scheme: it assumes later runs repeat the traced
+//! pattern. When the pattern drifts (a new input deck, a different reader)
+//! the planned stripes go stale. [`OnlineMonitor`] watches the live
+//! request stream in fixed-size windows and, per RST region, compares the
+//! observed average request size against the size the plan was optimised
+//! for. Sustained drift (several consecutive windows beyond a ratio
+//! threshold) triggers a re-plan of that region on the window's requests,
+//! and the monitor reports an [`AdaptationEvent`] with the new stripe pair
+//! plus the estimated migration bill (the region's bytes must be
+//! re-striped) so a policy layer can decide whether the remaining horizon
+//! amortises it.
+
+use crate::model::CostModelParams;
+use crate::optimizer::{OptimizerConfig, RegionRequests};
+use crate::rst::RegionStripeTable;
+use crate::trace::TraceRecord;
+use harl_simcore::OnlineStats;
+use serde::{Deserialize, Serialize};
+
+/// Monitor tuning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Requests per observation window.
+    pub window: usize,
+    /// Drift threshold as a size ratio (observed/planned or its inverse);
+    /// 2.0 means "twice or half the planned request size".
+    pub drift_ratio: f64,
+    /// Consecutive drifted windows required before re-planning.
+    pub patience: usize,
+    /// Optimizer settings for re-planning.
+    pub optimizer: OptimizerConfig,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            window: 256,
+            drift_ratio: 2.0,
+            patience: 2,
+            optimizer: OptimizerConfig {
+                threads: 1,
+                max_requests_per_eval: 512,
+                ..OptimizerConfig::default()
+            },
+        }
+    }
+}
+
+/// A recommended adaptation for one region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationEvent {
+    /// Index of the drifted region in the RST.
+    pub region: usize,
+    /// The stripe pair the region currently uses.
+    pub old: (u64, u64),
+    /// The re-planned stripe pair.
+    pub new: (u64, u64),
+    /// Observed average request size that triggered the re-plan.
+    pub observed_avg: u64,
+    /// Request size the region was planned for.
+    pub planned_avg: u64,
+    /// Bytes that must be re-striped to adopt the new layout.
+    pub migration_bytes: u64,
+    /// Predicted per-request saving under the new layout (seconds).
+    pub saving_per_request_s: f64,
+}
+
+impl AdaptationEvent {
+    /// Requests after which the migration pays for itself, given an
+    /// estimated migration throughput (bytes/second). `None` if the
+    /// re-plan predicts no saving.
+    pub fn break_even_requests(&self, migration_bytes_per_s: f64) -> Option<u64> {
+        if self.saving_per_request_s <= 0.0 || migration_bytes_per_s <= 0.0 {
+            return None;
+        }
+        let migration_s = self.migration_bytes as f64 / migration_bytes_per_s;
+        Some((migration_s / self.saving_per_request_s).ceil() as u64)
+    }
+}
+
+/// Per-region drift state.
+#[derive(Debug, Clone, Default)]
+struct RegionState {
+    drifted_windows: usize,
+    window_stats: OnlineStats,
+    window_requests: Vec<TraceRecord>,
+}
+
+/// The on-line monitor. Feed it the live stream via
+/// [`observe`](Self::observe); it returns adaptation events as drift is
+/// confirmed.
+#[derive(Debug)]
+pub struct OnlineMonitor {
+    model: CostModelParams,
+    rst: RegionStripeTable,
+    /// The per-region average request size the current plan assumed.
+    planned_avg: Vec<u64>,
+    cfg: OnlineConfig,
+    regions: Vec<RegionState>,
+    seen_in_window: usize,
+}
+
+impl OnlineMonitor {
+    /// Start monitoring a placed file.
+    ///
+    /// `planned_avg[i]` is the average request size region `i` was
+    /// optimised for (from Algorithm 1's `A_reg`); if unknown, pass the
+    /// observed averages of the original trace.
+    pub fn new(
+        model: CostModelParams,
+        rst: RegionStripeTable,
+        planned_avg: Vec<u64>,
+        cfg: OnlineConfig,
+    ) -> Self {
+        assert_eq!(
+            planned_avg.len(),
+            rst.len(),
+            "one planned average per region"
+        );
+        assert!(cfg.window > 0, "window must be positive");
+        assert!(cfg.drift_ratio > 1.0, "drift ratio must exceed 1.0");
+        let regions = (0..rst.len()).map(|_| RegionState::default()).collect();
+        OnlineMonitor {
+            model,
+            rst,
+            planned_avg,
+            cfg,
+            regions,
+            seen_in_window: 0,
+        }
+    }
+
+    /// The table the monitor currently considers active (updated as
+    /// adaptations fire).
+    pub fn current_rst(&self) -> &RegionStripeTable {
+        &self.rst
+    }
+
+    /// Observe one live request. Returns adaptation events (usually none;
+    /// at window boundaries possibly one per drifted region).
+    pub fn observe(&mut self, rec: TraceRecord) -> Vec<AdaptationEvent> {
+        let region = self.rst.region_of(rec.offset);
+        let state = &mut self.regions[region];
+        state.window_stats.push(rec.size as f64);
+        state.window_requests.push(rec);
+        self.seen_in_window += 1;
+        if self.seen_in_window < self.cfg.window {
+            return Vec::new();
+        }
+        self.close_window()
+    }
+
+    /// Close the current window: evaluate drift per region and re-plan the
+    /// regions whose patience ran out.
+    fn close_window(&mut self) -> Vec<AdaptationEvent> {
+        self.seen_in_window = 0;
+        let mut events = Vec::new();
+        for region in 0..self.regions.len() {
+            let observed = {
+                let state = &self.regions[region];
+                if state.window_stats.count() == 0 {
+                    // No traffic: decay the drift counter.
+                    None
+                } else {
+                    Some(state.window_stats.mean().max(1.0) as u64)
+                }
+            };
+            let Some(observed_avg) = observed else {
+                self.regions[region].drifted_windows = 0;
+                continue;
+            };
+            let planned = self.planned_avg[region].max(1);
+            let ratio = observed_avg as f64 / planned as f64;
+            let drifted = ratio > self.cfg.drift_ratio || ratio < 1.0 / self.cfg.drift_ratio;
+            let state = &mut self.regions[region];
+            if !drifted {
+                state.drifted_windows = 0;
+                state.window_stats = OnlineStats::new();
+                state.window_requests.clear();
+                continue;
+            }
+            state.drifted_windows += 1;
+            if state.drifted_windows < self.cfg.patience {
+                // Keep accumulating evidence (and requests for re-planning).
+                continue;
+            }
+            // Confirmed drift: re-plan this region on the observed stream.
+            let entry = self.rst.entries()[region];
+            let requests = std::mem::take(&mut state.window_requests);
+            state.window_stats = OnlineStats::new();
+            state.drifted_windows = 0;
+
+            let mut sorted = requests;
+            sorted.sort_by_key(|r| r.offset);
+            let reqs = RegionRequests::new(&sorted, entry.offset);
+            let choice = crate::optimizer::optimize_region(
+                &self.model,
+                &reqs,
+                observed_avg,
+                &self.cfg.optimizer,
+            );
+            if (choice.h, choice.s) == (entry.h, entry.s) {
+                // Same layout still optimal; just update expectations.
+                self.planned_avg[region] = observed_avg;
+                continue;
+            }
+            // Predicted per-request saving under the new pair.
+            let old_cost = reqs.cost_of(
+                &self.model,
+                entry.h,
+                entry.s,
+                self.cfg.optimizer.max_requests_per_eval,
+            );
+            let new_cost = reqs.cost_of(
+                &self.model,
+                choice.h,
+                choice.s,
+                self.cfg.optimizer.max_requests_per_eval,
+            );
+            let n = sorted.len().max(1) as f64;
+            let event = AdaptationEvent {
+                region,
+                old: (entry.h, entry.s),
+                new: (choice.h, choice.s),
+                observed_avg,
+                planned_avg: planned,
+                migration_bytes: entry.len,
+                saving_per_request_s: (old_cost - new_cost).max(0.0) / n,
+            };
+            // Adopt the new layout in the active table.
+            let mut entries = self.rst.entries().to_vec();
+            entries[region].h = choice.h;
+            entries[region].s = choice.s;
+            self.rst = RegionStripeTable::new(entries);
+            self.planned_avg[region] = observed_avg;
+            events.push(event);
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harl_devices::OpKind;
+    use harl_pfs::ClusterConfig;
+    use harl_simcore::SimNanos;
+
+    const KB: u64 = 1024;
+
+    fn model() -> CostModelParams {
+        CostModelParams::from_cluster(&ClusterConfig::paper_default())
+    }
+
+    fn monitor(planned_size: u64) -> OnlineMonitor {
+        let rst = RegionStripeTable::single(1 << 30, 32 * KB, 160 * KB);
+        OnlineMonitor::new(
+            model(),
+            rst,
+            vec![planned_size],
+            OnlineConfig {
+                window: 32,
+                patience: 2,
+                ..OnlineConfig::default()
+            },
+        )
+    }
+
+    fn rec(offset: u64, size: u64) -> TraceRecord {
+        TraceRecord {
+            rank: 0,
+            fd: 0,
+            op: OpKind::Read,
+            offset,
+            size,
+            timestamp: SimNanos::ZERO,
+        }
+    }
+
+    #[test]
+    fn stable_stream_never_adapts() {
+        let mut m = monitor(512 * KB);
+        for i in 0..512u64 {
+            let events = m.observe(rec(i * 512 * KB % (1 << 30), 512 * KB));
+            assert!(events.is_empty(), "false positive at request {i}");
+        }
+    }
+
+    #[test]
+    fn sustained_drift_triggers_replan() {
+        // Planned for 512 KiB; the stream shifts to 128 KiB requests, whose
+        // optimum is SServer-only ({0, 64K}).
+        let mut m = monitor(512 * KB);
+        let mut events = Vec::new();
+        for i in 0..256u64 {
+            events.extend(m.observe(rec((i * 128 * KB) % (1 << 30), 128 * KB)));
+        }
+        assert_eq!(events.len(), 1, "exactly one adaptation expected");
+        let e = &events[0];
+        assert_eq!(e.old, (32 * KB, 160 * KB));
+        assert_eq!(e.new, (0, 64 * KB));
+        assert_eq!(e.planned_avg, 512 * KB);
+        assert!(e.saving_per_request_s > 0.0);
+        // The active table now carries the new pair.
+        let entry = m.current_rst().entries()[0];
+        assert_eq!((entry.h, entry.s), (0, 64 * KB));
+    }
+
+    #[test]
+    fn patience_absorbs_single_window_blips() {
+        let mut m = monitor(512 * KB);
+        // One drifted window (32 small requests), then back to normal.
+        for i in 0..32u64 {
+            assert!(m.observe(rec(i * 128 * KB, 128 * KB)).is_empty());
+        }
+        for i in 0..256u64 {
+            let events = m.observe(rec(i * 512 * KB % (1 << 30), 512 * KB));
+            assert!(events.is_empty(), "blip should not trigger adaptation");
+        }
+    }
+
+    #[test]
+    fn adapted_monitor_does_not_refire_on_same_pattern() {
+        let mut m = monitor(512 * KB);
+        let mut total_events = 0;
+        for i in 0..512u64 {
+            total_events += m.observe(rec((i * 128 * KB) % (1 << 30), 128 * KB)).len();
+        }
+        assert_eq!(total_events, 1, "one drift, one adaptation");
+    }
+
+    #[test]
+    fn break_even_math() {
+        let e = AdaptationEvent {
+            region: 0,
+            old: (32 * KB, 160 * KB),
+            new: (0, 64 * KB),
+            observed_avg: 128 * KB,
+            planned_avg: 512 * KB,
+            migration_bytes: 1 << 30,
+            saving_per_request_s: 1e-3,
+        };
+        // 1 GiB at 512 MiB/s = 2 s migration; 2 s / 1 ms = 2000 requests.
+        let n = e.break_even_requests(512.0 * 1024.0 * 1024.0).unwrap();
+        assert_eq!(n, 2000);
+        let never = AdaptationEvent {
+            saving_per_request_s: 0.0,
+            ..e
+        };
+        assert_eq!(never.break_even_requests(1e9), None);
+    }
+
+    #[test]
+    fn multi_region_monitor_targets_the_drifted_region() {
+        let rst = crate::rst::RegionStripeTable::new(vec![
+            crate::rst::RstEntry {
+                offset: 0,
+                len: 512 << 20,
+                h: 32 * KB,
+                s: 160 * KB,
+            },
+            crate::rst::RstEntry {
+                offset: 512 << 20,
+                len: 512 << 20,
+                h: 32 * KB,
+                s: 160 * KB,
+            },
+        ]);
+        let mut m = OnlineMonitor::new(
+            model(),
+            rst,
+            vec![512 * KB, 512 * KB],
+            OnlineConfig {
+                window: 64,
+                patience: 2,
+                ..OnlineConfig::default()
+            },
+        );
+        // Region 0 stays at 512 KiB; region 1 drifts to 128 KiB.
+        let mut events = Vec::new();
+        for i in 0..512u64 {
+            events.extend(m.observe(rec((i * 512 * KB) % (512 << 20), 512 * KB)));
+            events.extend(m.observe(rec((512 << 20) + (i * 128 * KB) % (256 << 20), 128 * KB)));
+        }
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.region == 1), "only region 1 drifted");
+        let entries = m.current_rst().entries();
+        assert_eq!((entries[0].h, entries[0].s), (32 * KB, 160 * KB));
+        assert_eq!((entries[1].h, entries[1].s), (0, 64 * KB));
+    }
+
+    #[test]
+    #[should_panic(expected = "one planned average per region")]
+    fn mismatched_planned_avg_rejected() {
+        OnlineMonitor::new(
+            model(),
+            RegionStripeTable::single(1024, 4 * KB, 8 * KB),
+            vec![],
+            OnlineConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,465 @@
+//! Region stripe-size determination — the paper's Algorithm 2.
+//!
+//! For each region, grid-search the stripe pair `(h, s)` in `step` (4 KiB)
+//! increments, summing the cost-model prediction over the region's
+//! requests, and keep the cheapest pair. Bounds follow the paper: `h` runs
+//! from 0 (no data on HServers — the Fig. 9 optimum) to the region's
+//! average request size `R̄`, and `s` from `h + step` upward ("s starts
+//! from a size which is larger than h because this configuration can lead
+//! to load balance among heterogeneous servers"). Two deviations, both
+//! documented in DESIGN.md:
+//!
+//! * the paper's loop leaves `h = R̄` with an empty `s` range; we extend
+//!   `s` to one step past `R̄` so that configuration is actually evaluated,
+//!   and also evaluate the "single HServer" extreme `(R̄, 0)` the text
+//!   calls out;
+//! * region cost may be evaluated over an evenly-strided sample of at most
+//!   `max_requests_per_eval` requests to bound off-line analysis time (the
+//!   paper bounds it by running off-line; the sample is deterministic).
+//!
+//! The `h` axis of the grid is searched in parallel with crossbeam scoped
+//! threads; ties break toward the lexicographically smallest `(h, s)` so
+//! results are identical no matter how many threads run.
+
+use crate::model::CostModelParams;
+use crate::trace::TraceRecord;
+use serde::{Deserialize, Serialize};
+
+/// Optimizer tuning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerConfig {
+    /// Grid step (paper: 4 KiB; "finer step values result in more precise
+    /// h and s values, but with increased cost calculation overhead").
+    pub step: u64,
+    /// Upper bound on grid points per axis. For large `R̄` (e.g. the
+    /// multi-MiB requests collective I/O produces) a fixed 4 KiB step would
+    /// explode the grid; the effective step is raised to keep at most this
+    /// many points per axis — the same precision/overhead dial the paper
+    /// assigns to the user's choice of step.
+    pub max_grid_points: usize,
+    /// Cap on requests per cost evaluation (deterministic stride sample).
+    pub max_requests_per_eval: usize,
+    /// Worker threads for the grid search (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            step: 4 * 1024,
+            max_grid_points: 128,
+            max_requests_per_eval: 4096,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// The step actually used for a region with average request size `avg`:
+    /// the configured step, raised so the axis has at most
+    /// `max_grid_points` points.
+    pub fn effective_step(&self, avg: u64) -> u64 {
+        let min_step = avg.div_ceil(self.max_grid_points.max(1) as u64);
+        let steps_needed = min_step.div_ceil(self.step).max(1);
+        self.step * steps_needed
+    }
+}
+
+/// The chosen stripe pair for one region, with its predicted cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StripeChoice {
+    /// HServer stripe size (may be 0: SServers only).
+    pub h: u64,
+    /// SServer stripe size (may be 0: HServers only).
+    pub s: u64,
+    /// Summed model cost of the (sampled) region requests, seconds.
+    pub cost: f64,
+}
+
+/// A borrowed view of a region's requests with offsets made
+/// region-relative (each region maps to its own physical file, so request
+/// offsets inside it start from the region origin — paper Sec. III-G).
+pub struct RegionRequests<'a> {
+    records: &'a [TraceRecord],
+    region_offset: u64,
+}
+
+impl<'a> RegionRequests<'a> {
+    /// Wrap the offset-sorted records of one region.
+    pub fn new(records: &'a [TraceRecord], region_offset: u64) -> Self {
+        RegionRequests {
+            records,
+            region_offset,
+        }
+    }
+
+    /// Model cost of this region under a given `(h, s)` pair, summed over
+    /// the (sampled) requests — exposed for baseline policies that search a
+    /// restricted candidate set.
+    pub fn cost_of(&self, model: &CostModelParams, h: u64, s: u64, cap: usize) -> f64 {
+        region_cost(model, &self.sample(cap), h, s)
+    }
+
+    /// Deterministic stride sample of at most `cap` requests.
+    fn sample(&self, cap: usize) -> Vec<(u64, u64, harl_devices::OpKind)> {
+        let n = self.records.len();
+        let stride = n.div_ceil(cap.max(1)).max(1);
+        self.records
+            .iter()
+            .step_by(stride)
+            .map(|r| {
+                (
+                    r.offset.saturating_sub(self.region_offset),
+                    r.size,
+                    r.op,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Sum of model costs over the sampled requests for one `(h, s)` pair.
+#[inline]
+fn region_cost(
+    model: &CostModelParams,
+    sample: &[(u64, u64, harl_devices::OpKind)],
+    h: u64,
+    s: u64,
+) -> f64 {
+    sample
+        .iter()
+        .map(|&(o, r, op)| model.request_cost(o, r, op, h, s))
+        .sum()
+}
+
+/// Candidate `(h, s)` pairs for a given `R̄`, per Algorithm 2's loops plus
+/// the two extremes.
+fn candidates(avg: u64, step: u64, m: usize, n: usize) -> Vec<(u64, u64)> {
+    let r_bar = avg.max(step).div_ceil(step) * step; // round up to the grid
+    let mut out = Vec::new();
+    if m == 0 {
+        // No HServers: only the h = 0 column is meaningful.
+        for s in (step..=r_bar).step_by(step as usize) {
+            out.push((0, s));
+        }
+        return out;
+    }
+    for h in (0..=r_bar).step_by(step as usize) {
+        let mut s = h + step;
+        while s <= r_bar + step {
+            // s > h per the paper's load-balance argument; the +step slack
+            // makes h = R̄ evaluable (see module docs).
+            if n > 0 {
+                out.push((h, s));
+            }
+            s += step;
+        }
+    }
+    if m > 0 {
+        // The "single HServer" extreme: all data on HServers at width R̄.
+        out.push((r_bar, 0));
+    }
+    // Drop pairs that would have zero total capacity on this cluster.
+    out.retain(|&(h, s)| m as u64 * h + n as u64 * s > 0);
+    out
+}
+
+/// Run Algorithm 2 for one region.
+///
+/// `avg_request_size` is the region's `R̄` from Algorithm 1. Returns the
+/// cheapest pair; ties break to the smallest `(h, s)`.
+pub fn optimize_region(
+    model: &CostModelParams,
+    requests: &RegionRequests<'_>,
+    avg_request_size: u64,
+    cfg: &OptimizerConfig,
+) -> StripeChoice {
+    assert!(cfg.step > 0, "grid step must be positive");
+    let step = cfg.effective_step(avg_request_size.max(1));
+    let sample = requests.sample(cfg.max_requests_per_eval);
+    let cands = candidates(avg_request_size, step, model.m, model.n);
+    assert!(
+        !cands.is_empty(),
+        "no stripe candidates (cluster has no servers?)"
+    );
+
+    // An empty region (no requests) has zero cost everywhere; fall back to
+    // a balanced default: the fixed stripe at R̄ (or one step).
+    if sample.is_empty() {
+        let w = avg_request_size.max(step).div_ceil(step) * step;
+        return StripeChoice {
+            h: if model.m > 0 { w } else { 0 },
+            s: if model.n > 0 { w } else { 0 },
+            cost: 0.0,
+        };
+    }
+
+    let threads = cfg.threads.max(1).min(cands.len());
+    let best = if threads == 1 {
+        best_of(model, &sample, &cands)
+    } else {
+        let chunk = cands.len().div_ceil(threads);
+        let mut results: Vec<Option<StripeChoice>> = vec![None; threads];
+        crossbeam::thread::scope(|scope| {
+            for (slot, part) in results.iter_mut().zip(cands.chunks(chunk)) {
+                let sample = &sample;
+                scope.spawn(move |_| {
+                    *slot = Some(best_of(model, sample, part));
+                });
+            }
+        })
+        .expect("optimizer worker panicked");
+        results
+            .into_iter()
+            .flatten()
+            .reduce(pick_better)
+            .expect("at least one chunk")
+    };
+    best
+}
+
+fn best_of(
+    model: &CostModelParams,
+    sample: &[(u64, u64, harl_devices::OpKind)],
+    cands: &[(u64, u64)],
+) -> StripeChoice {
+    let mut best = StripeChoice {
+        h: 0,
+        s: 0,
+        cost: f64::INFINITY,
+    };
+    for &(h, s) in cands {
+        let cost = region_cost(model, sample, h, s);
+        best = pick_better(
+            best,
+            StripeChoice { h, s, cost },
+        );
+    }
+    best
+}
+
+/// Deterministic comparison: strictly lower cost wins; ties break to the
+/// lexicographically *larger* `(h, s)`.
+///
+/// Ties are common: the model aggregates per-server bytes, so all stripe
+/// sizes that split a request identically across servers cost the same
+/// (e.g. every `s ∈ {4K..64K}` for a 128 KiB request on two SServers).
+/// Preferring the larger stripe means fewer stripe fragments and less
+/// metadata — and matches the paper's reported optima (Fig. 9's
+/// `{0, 64K}` rather than `{0, 4K}`).
+fn pick_better(a: StripeChoice, b: StripeChoice) -> StripeChoice {
+    if b.cost < a.cost || (b.cost == a.cost && (b.h, b.s) > (a.h, a.s)) {
+        b
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harl_devices::{hdd_2015_preset, ssd_2015_preset, NetworkProfile, OpKind};
+    use harl_pfs::ClusterConfig;
+    use harl_simcore::SimNanos;
+
+    const KB: u64 = 1024;
+
+    fn model() -> CostModelParams {
+        CostModelParams::from_cluster(&ClusterConfig::paper_default())
+    }
+
+    fn recs(n: usize, size: u64, op: OpKind) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| TraceRecord {
+                rank: 0,
+                fd: 0,
+                op,
+                offset: i as u64 * size,
+                size,
+                timestamp: SimNanos::ZERO,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn read_512k_prefers_small_h_large_s() {
+        // The paper's headline result: optimal read layout on 6H+2S at
+        // 512 KiB requests is ~{32K, 160K} — h well below 64K, s well above.
+        let m = model();
+        let trace = recs(64, 512 * KB, OpKind::Read);
+        let reqs = RegionRequests::new(&trace, 0);
+        let cfg = OptimizerConfig {
+            threads: 2,
+            ..OptimizerConfig::default()
+        };
+        let choice = optimize_region(&m, &reqs, 512 * KB, &cfg);
+        assert!(
+            choice.h > 0 && choice.h <= 64 * KB,
+            "h = {} out of expected band",
+            choice.h
+        );
+        assert!(
+            choice.s >= 96 * KB,
+            "s = {} should be far larger than h",
+            choice.s
+        );
+        assert!(choice.s > choice.h);
+    }
+
+    #[test]
+    fn small_requests_go_ssd_only() {
+        // Fig. 9: 128 KiB requests ⇒ {0, 64K}.
+        let m = model();
+        let trace = recs(64, 128 * KB, OpKind::Read);
+        let reqs = RegionRequests::new(&trace, 0);
+        let choice = optimize_region(&m, &reqs, 128 * KB, &OptimizerConfig::default());
+        assert_eq!(choice.h, 0, "expected SServer-only, got {choice:?}");
+        assert_eq!(choice.s, 64 * KB);
+    }
+
+    #[test]
+    fn write_optimum_differs_from_read() {
+        let m = model();
+        let reads = recs(64, 512 * KB, OpKind::Read);
+        let writes = recs(64, 512 * KB, OpKind::Write);
+        let r = optimize_region(
+            &m,
+            &RegionRequests::new(&reads, 0),
+            512 * KB,
+            &OptimizerConfig::default(),
+        );
+        let w = optimize_region(
+            &m,
+            &RegionRequests::new(&writes, 0),
+            512 * KB,
+            &OptimizerConfig::default(),
+        );
+        // SServer writes are slower, so the write optimum shifts load back
+        // toward HServers (s_w <= s_r) — as in the paper ({36K,148K} vs
+        // {32K,160K}).
+        assert!(w.s <= r.s, "write s {} vs read s {}", w.s, r.s);
+        assert!(w.h >= r.h, "write h {} vs read h {}", w.h, r.h);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let m = model();
+        let trace = recs(100, 512 * KB, OpKind::Read);
+        let reqs = RegionRequests::new(&trace, 0);
+        let base = OptimizerConfig::default();
+        let c1 = optimize_region(&m, &reqs, 512 * KB, &OptimizerConfig { threads: 1, ..base.clone() });
+        let c8 = optimize_region(&m, &reqs, 512 * KB, &OptimizerConfig { threads: 8, ..base });
+        assert_eq!(c1.h, c8.h);
+        assert_eq!(c1.s, c8.s);
+        assert_eq!(c1.cost, c8.cost);
+    }
+
+    #[test]
+    fn chosen_pair_is_grid_optimal() {
+        // Exhaustively verify the optimizer result against a brute-force
+        // scan on a small grid.
+        let m = model();
+        let trace = recs(16, 64 * KB, OpKind::Read);
+        let reqs = RegionRequests::new(&trace, 0);
+        let cfg = OptimizerConfig {
+            step: 16 * KB,
+            max_grid_points: 128,
+            max_requests_per_eval: 16,
+            threads: 1,
+        };
+        let choice = optimize_region(&m, &reqs, 64 * KB, &cfg);
+        let sample: Vec<_> = trace.iter().map(|r| (r.offset, r.size, r.op)).collect();
+        for (h, s) in candidates(64 * KB, 16 * KB, m.m, m.n) {
+            let c = region_cost(&m, &sample, h, s);
+            assert!(
+                c >= choice.cost - 1e-15,
+                "candidate ({h},{s}) cost {c} beats chosen {}",
+                choice.cost
+            );
+        }
+    }
+
+    #[test]
+    fn region_relative_offsets_used() {
+        // Same requests shifted by a region offset must optimise the same.
+        let m = model();
+        let base = recs(32, 256 * KB, OpKind::Read);
+        let shifted: Vec<TraceRecord> = base
+            .iter()
+            .map(|r| TraceRecord {
+                offset: r.offset + 512 * 1024 * 1024,
+                ..*r
+            })
+            .collect();
+        let a = optimize_region(
+            &m,
+            &RegionRequests::new(&base, 0),
+            256 * KB,
+            &OptimizerConfig::default(),
+        );
+        let b = optimize_region(
+            &m,
+            &RegionRequests::new(&shifted, 512 * 1024 * 1024),
+            256 * KB,
+            &OptimizerConfig::default(),
+        );
+        assert_eq!((a.h, a.s), (b.h, b.s));
+        assert!((a.cost - b.cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_region_gets_balanced_default() {
+        let m = model();
+        let reqs = RegionRequests::new(&[], 0);
+        let choice = optimize_region(&m, &reqs, 128 * KB, &OptimizerConfig::default());
+        assert_eq!(choice.h, 128 * KB);
+        assert_eq!(choice.s, 128 * KB);
+        assert_eq!(choice.cost, 0.0);
+    }
+
+    #[test]
+    fn sampling_cap_changes_cost_not_choice() {
+        let m = model();
+        let trace = recs(1000, 512 * KB, OpKind::Read);
+        let reqs = RegionRequests::new(&trace, 0);
+        let full = OptimizerConfig {
+            max_requests_per_eval: 1000,
+            threads: 1,
+            ..OptimizerConfig::default()
+        };
+        let sampled = OptimizerConfig {
+            max_requests_per_eval: 50,
+            threads: 1,
+            ..OptimizerConfig::default()
+        };
+        let a = optimize_region(&m, &reqs, 512 * KB, &full);
+        let b = optimize_region(&m, &reqs, 512 * KB, &sampled);
+        assert_eq!((a.h, a.s), (b.h, b.s), "uniform workload: same optimum");
+    }
+
+    #[test]
+    fn candidates_include_extremes() {
+        let c = candidates(64 * KB, 16 * KB, 6, 2);
+        assert!(c.contains(&(0, 16 * KB)), "SServer-only start");
+        assert!(c.contains(&(64 * KB, 0)), "single-HServer extreme");
+        assert!(c.contains(&(64 * KB, 64 * KB + 16 * KB)), "h = R̄ evaluable");
+        // s always strictly greater than h except the (R̄, 0) extreme.
+        assert!(c.iter().all(|&(h, s)| s > h || s == 0));
+    }
+
+    #[test]
+    fn hserver_only_cluster_still_works() {
+        let m = CostModelParams::new(
+            4,
+            0,
+            &NetworkProfile::gigabit_ethernet(),
+            &hdd_2015_preset(),
+            &ssd_2015_preset(),
+        );
+        let trace = recs(16, 256 * KB, OpKind::Read);
+        let reqs = RegionRequests::new(&trace, 0);
+        let choice = optimize_region(&m, &reqs, 256 * KB, &OptimizerConfig::default());
+        assert!(choice.h > 0);
+        assert!(choice.cost.is_finite());
+    }
+}

@@ -1,0 +1,354 @@
+//! The Region Stripe Table (RST) — paper Sec. III-E, Fig. 6.
+//!
+//! The RST records, per file region, the optimal stripe sizes on HServers
+//! and SServers. It is consulted by the metadata server during placement
+//! and by the middleware to route each request to its region's physical
+//! file. Two paper behaviours are implemented:
+//!
+//! * *"if adjacent regions have the same optimal stripe sizes, the two
+//!   regions are combined into a larger region"* — [`RegionStripeTable::merge_adjacent`];
+//! * the RST is persisted next to the application (JSON here) and loaded
+//!   at startup — [`RegionStripeTable::save_to_path`] /
+//!   [`RegionStripeTable::load_from_path`].
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One row of the RST (paper Fig. 6: region #, file offset, HServer stripe
+/// size, SServer stripe size — plus the region length, which Fig. 6 leaves
+/// implicit in the next row's offset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RstEntry {
+    /// First byte of the region in the logical file.
+    pub offset: u64,
+    /// Region length in bytes.
+    pub len: u64,
+    /// HServer stripe size (0 ⇒ region stored on SServers only).
+    pub h: u64,
+    /// SServer stripe size (0 ⇒ region stored on HServers only).
+    pub s: u64,
+}
+
+impl RstEntry {
+    /// One past the last byte of the region.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+/// The full table: entries sorted by offset, tiling `[0, file_size)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionStripeTable {
+    entries: Vec<RstEntry>,
+}
+
+impl RegionStripeTable {
+    /// Build from entries, validating the tiling.
+    ///
+    /// # Panics
+    /// Panics if entries are empty, unsorted, overlapping, gapped, not
+    /// starting at 0, or any entry has `h == 0 && s == 0` or zero length.
+    pub fn new(entries: Vec<RstEntry>) -> Self {
+        assert!(!entries.is_empty(), "RST must have at least one region");
+        assert_eq!(entries[0].offset, 0, "RST must start at offset 0");
+        for e in &entries {
+            assert!(e.len > 0, "zero-length RST region at {}", e.offset);
+            assert!(
+                e.h > 0 || e.s > 0,
+                "RST region at {} has no capacity",
+                e.offset
+            );
+        }
+        for w in entries.windows(2) {
+            assert_eq!(
+                w[0].end(),
+                w[1].offset,
+                "RST regions must tile contiguously"
+            );
+        }
+        RegionStripeTable { entries }
+    }
+
+    /// A single-region table covering `[0, file_size)` — what a
+    /// traditional fixed-stripe layout looks like in RST form.
+    pub fn single(file_size: u64, h: u64, s: u64) -> Self {
+        RegionStripeTable::new(vec![RstEntry {
+            offset: 0,
+            len: file_size,
+            h,
+            s,
+        }])
+    }
+
+    /// The rows.
+    pub fn entries(&self) -> &[RstEntry] {
+        &self.entries
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Never true (construction requires ≥ 1 region); provided for API
+    /// completeness alongside [`len`](Self::len).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes covered.
+    pub fn file_size(&self) -> u64 {
+        self.entries.last().map_or(0, |e| e.end())
+    }
+
+    /// Index of the region containing `offset`.
+    ///
+    /// Offsets past the end fall into the last region (files can grow; the
+    /// tail region's layout extends).
+    pub fn region_of(&self, offset: u64) -> usize {
+        match self
+            .entries
+            .binary_search_by(|e| {
+                if offset < e.offset {
+                    std::cmp::Ordering::Greater
+                } else if offset >= e.end() {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            }) {
+            Ok(i) => i,
+            Err(_) => self.entries.len() - 1,
+        }
+    }
+
+    /// The entry containing `offset`.
+    pub fn lookup(&self, offset: u64) -> &RstEntry {
+        &self.entries[self.region_of(offset)]
+    }
+
+    /// Split a logical request `[offset, offset+len)` into per-region
+    /// pieces `(region_index, region_relative_offset, piece_len)`.
+    ///
+    /// Requests may span region boundaries; each piece is served from its
+    /// region's physical file.
+    pub fn split_request(&self, offset: u64, len: u64) -> Vec<(usize, u64, u64)> {
+        let mut out = Vec::new();
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let idx = self.region_of(pos);
+            let e = &self.entries[idx];
+            let piece_end = if idx + 1 < self.entries.len() {
+                e.end().min(end)
+            } else {
+                end // last region extends indefinitely
+            };
+            out.push((idx, pos - e.offset, piece_end - pos));
+            pos = piece_end;
+        }
+        out
+    }
+
+    /// Approximate metadata footprint of the table: one row of four u64
+    /// fields per region (the paper's Fig. 6 structure). Algorithm 1's
+    /// threshold adaptation exists precisely to bound this (Sec. III-C:
+    /// "substantial extra metadata management overhead").
+    pub fn metadata_bytes(&self) -> u64 {
+        (self.entries.len() * 4 * std::mem::size_of::<u64>()) as u64
+    }
+
+    /// Merge adjacent regions with identical `(h, s)` (paper Sec. III-E).
+    pub fn merge_adjacent(&mut self) {
+        let mut merged: Vec<RstEntry> = Vec::with_capacity(self.entries.len());
+        for e in self.entries.drain(..) {
+            match merged.last_mut() {
+                Some(prev) if prev.h == e.h && prev.s == e.s => {
+                    prev.len += e.len;
+                }
+                _ => merged.push(e),
+            }
+        }
+        self.entries = merged;
+    }
+
+    /// Persist as pretty JSON.
+    pub fn save_to_path(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Load from JSON produced by [`save_to_path`](Self::save_to_path).
+    pub fn load_from_path(path: &Path) -> std::io::Result<Self> {
+        let data = std::fs::read_to_string(path)?;
+        let table: RegionStripeTable = serde_json::from_str(&data)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        // Re-validate: files on disk can be edited.
+        Ok(RegionStripeTable::new(table.entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RegionStripeTable {
+        // The example of paper Fig. 6 (lengths inferred from offsets).
+        RegionStripeTable::new(vec![
+            RstEntry {
+                offset: 0,
+                len: 128 << 20,
+                h: 16 * 1024,
+                s: 64 * 1024,
+            },
+            RstEntry {
+                offset: 128 << 20,
+                len: 64 << 20,
+                h: 36 * 1024,
+                s: 144 * 1024,
+            },
+            RstEntry {
+                offset: 192 << 20,
+                len: 64 << 20,
+                h: 26 * 1024,
+                s: 80 * 1024,
+            },
+        ])
+    }
+
+    #[test]
+    fn lookup_by_offset() {
+        let t = table();
+        assert_eq!(t.region_of(0), 0);
+        assert_eq!(t.region_of((128 << 20) - 1), 0);
+        assert_eq!(t.region_of(128 << 20), 1);
+        assert_eq!(t.region_of(200 << 20), 2);
+        // Past the end: last region.
+        assert_eq!(t.region_of(1 << 40), 2);
+    }
+
+    #[test]
+    fn split_within_one_region() {
+        let t = table();
+        let pieces = t.split_request(10, 100);
+        assert_eq!(pieces, vec![(0, 10, 100)]);
+    }
+
+    #[test]
+    fn split_across_regions() {
+        let t = table();
+        let boundary = 128u64 << 20;
+        let pieces = t.split_request(boundary - 50, 100);
+        assert_eq!(
+            pieces,
+            vec![(0, boundary - 50, 50), (1, 0, 50)]
+        );
+        let total: u64 = pieces.iter().map(|&(_, _, l)| l).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn split_past_end_stays_in_last_region() {
+        let t = table();
+        let file_end = t.file_size();
+        let pieces = t.split_request(file_end - 10, 100);
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].0, 2);
+        assert_eq!(pieces[0].2, 100);
+    }
+
+    #[test]
+    fn merge_adjacent_same_stripes() {
+        let mut t = RegionStripeTable::new(vec![
+            RstEntry {
+                offset: 0,
+                len: 100,
+                h: 4,
+                s: 8,
+            },
+            RstEntry {
+                offset: 100,
+                len: 50,
+                h: 4,
+                s: 8,
+            },
+            RstEntry {
+                offset: 150,
+                len: 50,
+                h: 16,
+                s: 8,
+            },
+        ]);
+        t.merge_adjacent();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.entries()[0].len, 150);
+        assert_eq!(t.file_size(), 200);
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut t = table();
+        t.merge_adjacent();
+        let once = t.clone();
+        t.merge_adjacent();
+        assert_eq!(t, once);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile contiguously")]
+    fn gaps_rejected() {
+        RegionStripeTable::new(vec![
+            RstEntry {
+                offset: 0,
+                len: 10,
+                h: 1,
+                s: 1,
+            },
+            RstEntry {
+                offset: 20,
+                len: 10,
+                h: 1,
+                s: 1,
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no capacity")]
+    fn zero_capacity_region_rejected() {
+        RegionStripeTable::new(vec![RstEntry {
+            offset: 0,
+            len: 10,
+            h: 0,
+            s: 0,
+        }]);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = table();
+        let dir = std::env::temp_dir().join("harl-rst-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rst.json");
+        t.save_to_path(&path).unwrap();
+        let back = RegionStripeTable::load_from_path(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metadata_scales_with_regions() {
+        let t = table();
+        assert_eq!(t.metadata_bytes(), 3 * 32);
+        assert_eq!(RegionStripeTable::single(1024, 4, 8).metadata_bytes(), 32);
+    }
+
+    #[test]
+    fn single_region_table() {
+        let t = RegionStripeTable::single(1 << 30, 64 * 1024, 64 * 1024);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.file_size(), 1 << 30);
+    }
+}

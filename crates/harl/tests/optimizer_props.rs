@@ -1,0 +1,96 @@
+//! Property tests: Algorithm 2's result is the true grid minimum, for
+//! arbitrary small workloads (brute-force verified), and the region
+//! division invariants hold for adversarial inputs.
+
+use harl_core::{
+    optimize_region, server_loads, CostModelParams, OptimizerConfig, RegionRequests, TraceRecord,
+};
+use harl_devices::OpKind;
+use harl_pfs::ClusterConfig;
+use harl_simcore::SimNanos;
+use proptest::prelude::*;
+
+fn model() -> CostModelParams {
+    CostModelParams::from_cluster(&ClusterConfig::paper_default())
+}
+
+prop_compose! {
+    fn small_workload()(
+        sizes in prop::collection::vec(1u64..64, 1..12),
+        op_read in any::<bool>(),
+    ) -> Vec<TraceRecord> {
+        let op = if op_read { OpKind::Read } else { OpKind::Write };
+        let mut offset = 0;
+        sizes.iter().enumerate().map(|(i, &s)| {
+            let size = s * 8192;
+            let r = TraceRecord {
+                rank: 0, fd: 0, op, offset, size,
+                timestamp: SimNanos::from_nanos(i as u64),
+            };
+            offset += size;
+            r
+        }).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// optimize_region returns the exact minimum of the candidate grid.
+    #[test]
+    fn optimizer_is_grid_optimal(records in small_workload()) {
+        let m = model();
+        let avg = (records.iter().map(|r| r.size).sum::<u64>()
+            / records.len() as u64).max(1);
+        let cfg = OptimizerConfig {
+            step: 32 * 1024,
+            max_grid_points: 64,
+            max_requests_per_eval: records.len(),
+            threads: 1,
+        };
+        let reqs = RegionRequests::new(&records, 0);
+        let choice = optimize_region(&m, &reqs, avg, &cfg);
+
+        // Brute force over the same candidate set.
+        let step = cfg.effective_step(avg);
+        let r_bar = avg.max(step).div_ceil(step) * step;
+        let mut h = 0u64;
+        while h <= r_bar {
+            let mut s = h + step;
+            while s <= r_bar + step {
+                let cost: f64 = records.iter()
+                    .map(|r| m.request_cost(r.offset, r.size, r.op, h, s))
+                    .sum();
+                prop_assert!(
+                    cost >= choice.cost - 1e-12,
+                    "candidate ({h}, {s}) cost {cost} beats chosen ({}, {}) cost {}",
+                    choice.h, choice.s, choice.cost
+                );
+                s += step;
+            }
+            h += step;
+        }
+        // The single-HServer extreme too.
+        let cost: f64 = records.iter()
+            .map(|r| m.request_cost(r.offset, r.size, r.op, r_bar, 0))
+            .sum();
+        prop_assert!(cost >= choice.cost - 1e-12);
+    }
+
+    /// Per-request loads shrink (weakly) in both s_m and m when the
+    /// request shrinks from the right.
+    #[test]
+    fn loads_monotone_in_size(
+        h in 1u64..64, s in 1u64..64,
+        offset in 0u64..(1 << 28),
+        size in 2u64..(1 << 22),
+    ) {
+        let (h, s) = (h * 4096, s * 4096);
+        let big = server_loads(offset, size, 6, h, 2, s);
+        let small = server_loads(offset, size / 2, 6, h, 2, s);
+        prop_assert!(small.s_m <= big.s_m);
+        prop_assert!(small.s_n <= big.s_n);
+        prop_assert!(small.m <= big.m);
+        prop_assert!(small.n <= big.n);
+    }
+}

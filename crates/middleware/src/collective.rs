@@ -1,0 +1,247 @@
+//! Two-phase collective I/O (ROMIO-style), used by BTIO's
+//! `MPI_File_write_all`/`read_all`.
+//!
+//! When all ranks enter a collective call, the middleware:
+//!
+//! 1. computes the union extent of everyone's requests and partitions it
+//!    into contiguous *file domains*, one per aggregator (one aggregator
+//!    per compute node, as ROMIO defaults to);
+//! 2. ships each rank's data to the aggregator owning it (the *exchange
+//!    phase* — charged as local time proportional to the bytes a rank
+//!    contributes, since the exchange crosses the same client NICs);
+//! 3. has each aggregator issue large contiguous file requests over its
+//!    domain, chunked by the collective buffer size (ROMIO's `cb_buffer`,
+//!    4 MiB by default).
+//!
+//! The result is the classic collective-I/O effect: many small strided
+//! requests become a few large contiguous ones. The transformation output
+//! is expressed as logical steps (exchange compute + barrier + aggregator
+//! I/O + barrier) which the [`crate::runtime`] translates onto physical
+//! region files.
+
+use crate::logical::LogicalRequest;
+use harl_devices::OpKind;
+use harl_simcore::SimNanos;
+use serde::{Deserialize, Serialize};
+
+/// Collective-I/O tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveConfig {
+    /// Aggregator chunk size (ROMIO `cb_buffer_size`; default 4 MiB).
+    pub cb_buffer: u64,
+    /// Per-byte cost of the exchange phase in seconds (client network).
+    pub exchange_s_per_byte: f64,
+}
+
+impl Default for CollectiveConfig {
+    fn default() -> Self {
+        CollectiveConfig {
+            cb_buffer: 4 * 1024 * 1024,
+            exchange_s_per_byte: 4e-9,
+        }
+    }
+}
+
+/// The plan for one matched collective call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectivePlan {
+    /// Per-rank exchange time (phase 2 of two-phase I/O).
+    pub exchange: Vec<SimNanos>,
+    /// Per-rank aggregated file requests (empty for non-aggregators).
+    pub aggregated: Vec<Vec<LogicalRequest>>,
+    /// The operation of this call.
+    pub op: OpKind,
+}
+
+/// Merge per-rank interval lists into a sorted list of disjoint intervals.
+fn coalesce(mut intervals: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    intervals.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
+    for (lo, hi) in intervals {
+        match out.last_mut() {
+            Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
+/// Build the two-phase plan for one collective call.
+///
+/// `contributions[r]` is rank r's request list; all non-empty contributions
+/// must share one [`OpKind`] (MPI collectives are single-direction).
+/// `aggregators` is the list of rank ids acting as aggregators (typically
+/// one per node). Returns `None` for a call where nobody contributes data
+/// (a pure synchronisation point).
+pub fn plan_collective(
+    contributions: &[Vec<LogicalRequest>],
+    aggregators: &[usize],
+    cfg: &CollectiveConfig,
+) -> Option<CollectivePlan> {
+    assert!(!aggregators.is_empty(), "need at least one aggregator");
+    let all: Vec<LogicalRequest> = contributions.iter().flatten().copied().collect();
+    if all.is_empty() {
+        return None;
+    }
+    let op = all[0].op;
+    assert!(
+        all.iter().all(|r| r.op == op),
+        "mixed read/write in one collective call"
+    );
+
+    // Union extent and covered intervals.
+    let covered = coalesce(
+        all.iter()
+            .filter(|r| r.size > 0)
+            .map(|r| (r.offset, r.offset + r.size))
+            .collect(),
+    );
+    if covered.is_empty() {
+        return None;
+    }
+    let lo = covered[0].0;
+    let hi = covered.last().expect("non-empty").1;
+
+    // Contiguous file domains, one per aggregator, sliced from the extent.
+    let n_agg = aggregators.len() as u64;
+    let span = hi - lo;
+    let domain = span.div_ceil(n_agg).max(1);
+
+    // Exchange cost: every rank ships the bytes it contributes.
+    let exchange: Vec<SimNanos> = contributions
+        .iter()
+        .map(|reqs| {
+            let bytes: u64 = reqs.iter().map(|r| r.size).sum();
+            SimNanos::from_secs_f64(bytes as f64 * cfg.exchange_s_per_byte)
+        })
+        .collect();
+
+    // Aggregator requests: covered intervals clipped to the domain, then
+    // chunked by cb_buffer.
+    let mut aggregated: Vec<Vec<LogicalRequest>> = vec![Vec::new(); contributions.len()];
+    for (k, &agg_rank) in aggregators.iter().enumerate() {
+        let d_lo = lo + k as u64 * domain;
+        let d_hi = (d_lo + domain).min(hi);
+        if d_lo >= d_hi {
+            continue;
+        }
+        let out = &mut aggregated[agg_rank];
+        for &(c_lo, c_hi) in &covered {
+            let s = c_lo.max(d_lo);
+            let e = c_hi.min(d_hi);
+            let mut pos = s;
+            while pos < e {
+                let len = cfg.cb_buffer.min(e - pos);
+                out.push(LogicalRequest {
+                    op,
+                    offset: pos,
+                    size: len,
+                });
+                pos += len;
+            }
+        }
+    }
+
+    Some(CollectivePlan {
+        exchange,
+        aggregated,
+        op,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KB: u64 = 1024;
+    const MB: u64 = 1024 * 1024;
+
+    /// BTIO-like strided contributions: rank r owns every n-th block.
+    fn strided(ranks: usize, block: u64, blocks_per_rank: usize) -> Vec<Vec<LogicalRequest>> {
+        (0..ranks)
+            .map(|r| {
+                (0..blocks_per_rank)
+                    .map(|b| {
+                        LogicalRequest::write(
+                            (b * ranks + r) as u64 * block,
+                            block,
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn coalesce_merges_touching() {
+        let merged = coalesce(vec![(10, 20), (0, 10), (30, 40), (15, 25)]);
+        assert_eq!(merged, vec![(0, 25), (30, 40)]);
+    }
+
+    #[test]
+    fn strided_writes_become_contiguous() {
+        // 4 ranks × 64 blocks of 64 KiB interleaved: fully covering 16 MiB.
+        let contributions = strided(4, 64 * KB, 64);
+        let plan = plan_collective(&contributions, &[0, 1], &CollectiveConfig::default()).unwrap();
+        let total: u64 = plan
+            .aggregated
+            .iter()
+            .flatten()
+            .map(|r| r.size)
+            .sum();
+        assert_eq!(total, 16 * MB, "aggregation conserves bytes");
+        // Each aggregator issues 8 MiB as two 4 MiB chunks.
+        assert_eq!(plan.aggregated[0].len(), 2);
+        assert_eq!(plan.aggregated[1].len(), 2);
+        assert!(plan.aggregated[2].is_empty());
+        // Chunks are contiguous and in order.
+        for reqs in &plan.aggregated {
+            for w in reqs.windows(2) {
+                assert_eq!(w[0].offset + w[0].size, w[1].offset);
+            }
+        }
+    }
+
+    #[test]
+    fn gaps_are_not_fabricated() {
+        // Two disjoint covered areas: the hole must not be read/written.
+        let contributions = vec![
+            vec![LogicalRequest::read(0, MB)],
+            vec![LogicalRequest::read(8 * MB, MB)],
+        ];
+        let plan = plan_collective(&contributions, &[0], &CollectiveConfig::default()).unwrap();
+        let total: u64 = plan.aggregated[0].iter().map(|r| r.size).sum();
+        assert_eq!(total, 2 * MB);
+        assert!(plan.aggregated[0]
+            .iter()
+            .all(|r| r.offset + r.size <= MB || r.offset >= 8 * MB));
+    }
+
+    #[test]
+    fn exchange_proportional_to_contribution() {
+        let contributions = vec![
+            vec![LogicalRequest::write(0, 2 * MB)],
+            vec![LogicalRequest::write(2 * MB, MB)],
+            vec![],
+        ];
+        let plan = plan_collective(&contributions, &[0], &CollectiveConfig::default()).unwrap();
+        assert_eq!(plan.exchange[0], plan.exchange[1] * 2);
+        assert_eq!(plan.exchange[2], SimNanos::ZERO);
+    }
+
+    #[test]
+    fn empty_call_is_none() {
+        let contributions: Vec<Vec<LogicalRequest>> = vec![vec![], vec![]];
+        assert!(plan_collective(&contributions, &[0], &CollectiveConfig::default()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed read/write")]
+    fn mixed_ops_rejected() {
+        let contributions = vec![
+            vec![LogicalRequest::read(0, KB)],
+            vec![LogicalRequest::write(KB, KB)],
+        ];
+        plan_collective(&contributions, &[0], &CollectiveConfig::default());
+    }
+}

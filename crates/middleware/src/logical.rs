@@ -1,0 +1,211 @@
+//! Logical-file workloads: what an MPI application sees.
+//!
+//! Applications address one shared *logical* file through
+//! `MPI_File_read/write`-style calls; the middleware (this crate) translates
+//! those into physical sub-files behind the scenes. A [`RankProgram`] is
+//! one MPI rank's ordered behaviour; a [`Workload`] is the whole job.
+
+use harl_devices::OpKind;
+use harl_simcore::SimNanos;
+use serde::{Deserialize, Serialize};
+
+/// One logical file request (offset within the shared logical file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogicalRequest {
+    /// Read or write.
+    pub op: OpKind,
+    /// Offset within the logical file.
+    pub offset: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+impl LogicalRequest {
+    /// A logical read.
+    pub fn read(offset: u64, size: u64) -> Self {
+        LogicalRequest {
+            op: OpKind::Read,
+            offset,
+            size,
+        }
+    }
+
+    /// A logical write.
+    pub fn write(offset: u64, size: u64) -> Self {
+        LogicalRequest {
+            op: OpKind::Write,
+            offset,
+            size,
+        }
+    }
+}
+
+/// One step of a rank's program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogicalStep {
+    /// Independent I/O: requests issued synchronously, one after another
+    /// (POSIX-style, what IOR does by default).
+    Independent(Vec<LogicalRequest>),
+    /// Collective I/O: all ranks arrive at this call together and the
+    /// middleware performs two-phase optimisation across them (what BTIO
+    /// does). The k-th collective call of every rank is matched up.
+    Collective(Vec<LogicalRequest>),
+    /// Local computation.
+    Compute(SimNanos),
+}
+
+/// One rank's ordered program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RankProgram {
+    /// Steps in execution order.
+    pub steps: Vec<LogicalStep>,
+}
+
+impl RankProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        RankProgram::default()
+    }
+
+    /// Append an independent synchronous request.
+    pub fn push_request(&mut self, req: LogicalRequest) {
+        self.steps.push(LogicalStep::Independent(vec![req]));
+    }
+
+    /// Append an independent batch.
+    pub fn push_independent(&mut self, reqs: Vec<LogicalRequest>) {
+        assert!(!reqs.is_empty(), "empty independent batch");
+        self.steps.push(LogicalStep::Independent(reqs));
+    }
+
+    /// Append a collective call contributing `reqs` from this rank.
+    ///
+    /// An empty contribution is allowed — collectives are matched by call
+    /// index across ranks and a rank may contribute nothing to one call.
+    pub fn push_collective(&mut self, reqs: Vec<LogicalRequest>) {
+        self.steps.push(LogicalStep::Collective(reqs));
+    }
+
+    /// Append a compute phase.
+    pub fn push_compute(&mut self, d: SimNanos) {
+        self.steps.push(LogicalStep::Compute(d));
+    }
+
+    /// Number of collective calls in this program.
+    pub fn collective_calls(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, LogicalStep::Collective(_)))
+            .count()
+    }
+}
+
+/// A whole parallel job: one program per rank.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// `ranks[i]` is rank i's program.
+    pub ranks: Vec<RankProgram>,
+}
+
+impl Workload {
+    /// A workload of `n` empty rank programs.
+    pub fn with_ranks(n: usize) -> Self {
+        Workload {
+            ranks: vec![RankProgram::new(); n],
+        }
+    }
+
+    /// Number of ranks.
+    pub fn rank_count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Total bytes `(read, written)` across all ranks.
+    pub fn total_bytes(&self) -> (u64, u64) {
+        let mut read = 0;
+        let mut written = 0;
+        for rank in &self.ranks {
+            for step in &rank.steps {
+                let reqs = match step {
+                    LogicalStep::Independent(r) | LogicalStep::Collective(r) => r,
+                    LogicalStep::Compute(_) => continue,
+                };
+                for r in reqs {
+                    match r.op {
+                        OpKind::Read => read += r.size,
+                        OpKind::Write => written += r.size,
+                    }
+                }
+            }
+        }
+        (read, written)
+    }
+
+    /// Largest logical byte touched (the implied logical file size).
+    pub fn extent(&self) -> u64 {
+        self.ranks
+            .iter()
+            .flat_map(|r| &r.steps)
+            .filter_map(|s| match s {
+                LogicalStep::Independent(r) | LogicalStep::Collective(r) => {
+                    r.iter().map(|q| q.offset + q.size).max()
+                }
+                LogicalStep::Compute(_) => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Validation: every rank must have the same number of collective
+    /// calls, or the job would deadlock in a real MPI run.
+    pub fn validate_collectives(&self) -> Result<(), String> {
+        let counts: Vec<usize> = self.ranks.iter().map(|r| r.collective_calls()).collect();
+        if let Some((first, rest)) = counts.split_first() {
+            if let Some(pos) = rest.iter().position(|c| c != first) {
+                return Err(format!(
+                    "rank 0 makes {first} collective calls but rank {} makes {}",
+                    pos + 1,
+                    rest[pos]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_and_extent_accounting() {
+        let mut w = Workload::with_ranks(2);
+        w.ranks[0].push_request(LogicalRequest::write(0, 100));
+        w.ranks[1].push_request(LogicalRequest::read(1000, 50));
+        assert_eq!(w.total_bytes(), (50, 100));
+        assert_eq!(w.extent(), 1050);
+    }
+
+    #[test]
+    fn collective_count_validation() {
+        let mut w = Workload::with_ranks(2);
+        w.ranks[0].push_collective(vec![LogicalRequest::write(0, 10)]);
+        assert!(w.validate_collectives().is_err());
+        w.ranks[1].push_collective(vec![]);
+        assert!(w.validate_collectives().is_ok());
+    }
+
+    #[test]
+    fn empty_workload_is_valid() {
+        let w = Workload::with_ranks(4);
+        assert_eq!(w.total_bytes(), (0, 0));
+        assert_eq!(w.extent(), 0);
+        assert!(w.validate_collectives().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty independent batch")]
+    fn empty_independent_rejected() {
+        RankProgram::new().push_independent(vec![]);
+    }
+}

@@ -1,0 +1,184 @@
+//! File layouts: which servers hold a file and with what stripe widths.
+//!
+//! A [`FileLayout`] binds a [`GroupLayout`]
+//! to concrete [`ServerId`]s. The three shapes the paper evaluates:
+//!
+//! * **fixed-size stripe** over all servers (the traditional scheme,
+//!   Fig. 2(a)) — [`FileLayout::fixed`];
+//! * **varied-size stripe**: one width for HServers, another for SServers
+//!   (one HARL region, Fig. 2(b)) — [`FileLayout::two_class`];
+//! * arbitrary per-server widths for the K-profile extension —
+//!   [`FileLayout::custom`].
+
+use crate::cluster::{ClusterConfig, ServerId};
+use crate::geometry::GroupLayout;
+use serde::{Deserialize, Serialize};
+
+/// A physical file's placement: participating servers plus group geometry.
+///
+/// Servers with zero stripe width are dropped at construction, so
+/// `servers()` lists exactly the servers that hold data — the paper's
+/// `{0 KB, 64 KB}` layout (Fig. 9) yields a layout whose server list
+/// contains only the SServers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileLayout {
+    servers: Vec<ServerId>,
+    group: GroupLayout,
+}
+
+impl FileLayout {
+    /// Build from explicit `(server, width)` pairs, dropping zero widths.
+    ///
+    /// # Panics
+    /// Panics if every width is zero, or a server id repeats.
+    pub fn custom(pairs: Vec<(ServerId, u64)>) -> Self {
+        let kept: Vec<(ServerId, u64)> = pairs.into_iter().filter(|&(_, w)| w > 0).collect();
+        assert!(!kept.is_empty(), "file layout with no capacity");
+        let mut ids: Vec<ServerId> = kept.iter().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            kept.len(),
+            "duplicate server in file layout"
+        );
+        let servers = kept.iter().map(|&(id, _)| id).collect();
+        let group = GroupLayout::new(kept.iter().map(|&(_, w)| w).collect());
+        FileLayout { servers, group }
+    }
+
+    /// Fixed-size striping over all servers of `cluster`, round-robin from
+    /// server 0 — the PFS default the paper compares against.
+    pub fn fixed(cluster: &ClusterConfig, stripe: u64) -> Self {
+        assert!(stripe > 0, "fixed stripe must be positive");
+        FileLayout::custom(cluster.all_servers().map(|id| (id, stripe)).collect())
+    }
+
+    /// The paper's two-class varied-size striping: width `h` on every
+    /// HDD-class server, `s` on every SSD-class server (class order is the
+    /// cluster's class order, matching the paper's "0 to M+N-1 round-robin").
+    ///
+    /// Either width may be zero (that class then holds no data); both zero
+    /// panics.
+    pub fn two_class(cluster: &ClusterConfig, h: u64, s: u64) -> Self {
+        assert_eq!(
+            cluster.classes.len(),
+            2,
+            "two_class layout needs a two-class cluster; use custom() for K classes"
+        );
+        let mut pairs = Vec::with_capacity(cluster.server_count());
+        pairs.extend(cluster.class_servers(0).map(|id| (id, h)));
+        pairs.extend(cluster.class_servers(1).map(|id| (id, s)));
+        FileLayout::custom(pairs)
+    }
+
+    /// The servers holding data, in group order.
+    #[inline]
+    pub fn servers(&self) -> &[ServerId] {
+        &self.servers
+    }
+
+    /// The group geometry.
+    #[inline]
+    pub fn group(&self) -> &GroupLayout {
+        &self.group
+    }
+
+    /// Stripe group size `S`.
+    #[inline]
+    pub fn group_size(&self) -> u64 {
+        self.group.group_size()
+    }
+
+    /// Split a byte range into per-server sub-requests `(server, bytes)`.
+    pub fn split(&self, offset: u64, len: u64) -> Vec<(ServerId, u64)> {
+        self.group
+            .split(offset, len)
+            .into_iter()
+            .map(|(slot, bytes)| (self.servers[slot], bytes))
+            .collect()
+    }
+
+    /// The stripe width assigned to `server`, 0 if it holds nothing.
+    pub fn width_of(&self, server: ServerId) -> u64 {
+        self.servers
+            .iter()
+            .position(|&id| id == server)
+            .map_or(0, |slot| self.group.width(slot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_uses_all_servers() {
+        let c = ClusterConfig::paper_default();
+        let l = FileLayout::fixed(&c, 64 * 1024);
+        assert_eq!(l.servers(), (0..8).collect::<Vec<_>>().as_slice());
+        assert_eq!(l.group_size(), 8 * 64 * 1024);
+    }
+
+    #[test]
+    fn two_class_widths() {
+        let c = ClusterConfig::paper_default();
+        let l = FileLayout::two_class(&c, 32 * 1024, 160 * 1024);
+        assert_eq!(l.width_of(0), 32 * 1024);
+        assert_eq!(l.width_of(5), 32 * 1024);
+        assert_eq!(l.width_of(6), 160 * 1024);
+        assert_eq!(l.width_of(7), 160 * 1024);
+        assert_eq!(l.group_size(), 6 * 32 * 1024 + 2 * 160 * 1024);
+    }
+
+    #[test]
+    fn zero_h_drops_hservers() {
+        let c = ClusterConfig::paper_default();
+        let l = FileLayout::two_class(&c, 0, 64 * 1024);
+        assert_eq!(l.servers(), &[6, 7]);
+        assert_eq!(l.width_of(0), 0);
+        // A 128 KiB request is served entirely by the two SServers.
+        let split = l.split(0, 128 * 1024);
+        assert_eq!(split, vec![(6, 64 * 1024), (7, 64 * 1024)]);
+    }
+
+    #[test]
+    fn zero_s_drops_sservers() {
+        let c = ClusterConfig::paper_default();
+        let l = FileLayout::two_class(&c, 64 * 1024, 0);
+        assert_eq!(l.servers(), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no capacity")]
+    fn both_zero_rejected() {
+        let c = ClusterConfig::paper_default();
+        FileLayout::two_class(&c, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate server")]
+    fn duplicate_server_rejected() {
+        FileLayout::custom(vec![(0, 10), (0, 20)]);
+    }
+
+    #[test]
+    fn split_conservation_two_class() {
+        let c = ClusterConfig::hybrid(6, 2);
+        let l = FileLayout::two_class(&c, 36 * 1024, 148 * 1024);
+        for (o, r) in [(0u64, 512 * 1024u64), (123_456, 512 * 1024), (7, 1)] {
+            let total: u64 = l.split(o, r).iter().map(|&(_, b)| b).sum();
+            assert_eq!(total, r);
+        }
+    }
+
+    #[test]
+    fn custom_k_class() {
+        let l = FileLayout::custom(vec![(0, 100), (3, 200), (9, 400)]);
+        assert_eq!(l.servers(), &[0, 3, 9]);
+        assert_eq!(l.width_of(3), 200);
+        assert_eq!(l.width_of(1), 0);
+        let split = l.split(0, 700);
+        assert_eq!(split, vec![(0, 100), (3, 200), (9, 400)]);
+    }
+}

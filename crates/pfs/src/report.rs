@@ -1,0 +1,229 @@
+//! Simulation output: everything the paper's figures are computed from.
+
+use crate::cluster::ServerId;
+use harl_devices::DeviceKind;
+use harl_simcore::{throughput_mib_s, OnlineStats, SimNanos};
+use serde::{Deserialize, Serialize};
+
+/// Fixed-width busy-time buckets: `buckets[i]` is how much of bucket i's
+/// wall-clock window the device spent serving. Gives a utilisation
+/// time-series without storing per-grant history.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BusyBuckets {
+    /// Bucket width.
+    pub width: SimNanos,
+    /// Busy time accumulated per bucket (last bucket absorbs overflow).
+    pub buckets: Vec<SimNanos>,
+}
+
+impl BusyBuckets {
+    /// New series with `count` buckets of `width` each.
+    pub fn new(width: SimNanos, count: usize) -> Self {
+        assert!(!width.is_zero() && count > 0, "degenerate bucket config");
+        BusyBuckets {
+            width,
+            buckets: vec![SimNanos::ZERO; count],
+        }
+    }
+
+    /// Record a service interval `[start, end)`.
+    pub fn record(&mut self, start: SimNanos, end: SimNanos) {
+        let w = self.width.as_nanos();
+        let last = self.buckets.len() - 1;
+        let mut pos = start.as_nanos();
+        let end = end.as_nanos();
+        while pos < end {
+            let idx = ((pos / w) as usize).min(last);
+            let bucket_end = if idx == last {
+                end
+            } else {
+                ((pos / w) + 1) * w
+            };
+            let chunk = bucket_end.min(end) - pos;
+            self.buckets[idx] += SimNanos(chunk);
+            pos += chunk;
+        }
+    }
+
+    /// Utilisation fraction per bucket (last bucket may exceed 1.0 since
+    /// it absorbs overflow).
+    pub fn utilisation(&self) -> Vec<f64> {
+        let w = self.width.as_secs_f64();
+        self.buckets
+            .iter()
+            .map(|b| if w > 0.0 { b.as_secs_f64() / w } else { 0.0 })
+            .collect()
+    }
+
+    /// Total recorded busy time.
+    pub fn total(&self) -> SimNanos {
+        self.buckets.iter().copied().sum()
+    }
+}
+
+/// Per-server accounting over one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerReport {
+    /// Server id.
+    pub id: ServerId,
+    /// Device class (HDD ⇒ HServer, SSD ⇒ SServer).
+    pub kind: DeviceKind,
+    /// Total time the storage device spent serving sub-requests — the
+    /// "I/O time of each server" plotted in the paper's Fig. 1(a).
+    pub disk_busy: SimNanos,
+    /// Total time the server's NIC spent moving payload.
+    pub nic_busy: SimNanos,
+    /// Sub-requests served by the device.
+    pub disk_jobs: u64,
+    /// Total queueing delay at the device.
+    pub disk_queued: SimNanos,
+    /// Bytes served by the device.
+    pub bytes: u64,
+    /// Busy-time series (fixed-width buckets; the last bucket absorbs any
+    /// overflow past the configured horizon).
+    pub busy_series: BusyBuckets,
+}
+
+/// Full result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Time of the last completion event.
+    pub makespan: SimNanos,
+    /// Total bytes read by clients.
+    pub bytes_read: u64,
+    /// Total bytes written by clients.
+    pub bytes_written: u64,
+    /// Distribution of read-request latencies (seconds).
+    pub read_latency: OnlineStats,
+    /// Distribution of write-request latencies (seconds).
+    pub write_latency: OnlineStats,
+    /// Per-server accounting.
+    pub servers: Vec<ServerReport>,
+    /// Number of file requests completed.
+    pub requests_completed: u64,
+    /// When each client finished its program.
+    pub client_finish: Vec<SimNanos>,
+}
+
+impl SimReport {
+    /// Aggregate throughput: all bytes moved over the makespan, MiB/s —
+    /// the quantity the paper's throughput figures report.
+    pub fn throughput_mib_s(&self) -> f64 {
+        throughput_mib_s(self.bytes_read + self.bytes_written, self.makespan)
+    }
+
+    /// Per-server disk busy times normalised to the minimum — exactly the
+    /// presentation of the paper's Fig. 1(a). Servers that served nothing
+    /// report 0.
+    pub fn normalized_server_times(&self) -> Vec<f64> {
+        let min = self
+            .servers
+            .iter()
+            .map(|s| s.disk_busy)
+            .filter(|t| !t.is_zero())
+            .min()
+            .unwrap_or(SimNanos::ZERO);
+        if min.is_zero() {
+            return self.servers.iter().map(|_| 0.0).collect();
+        }
+        self.servers
+            .iter()
+            .map(|s| s.disk_busy.as_secs_f64() / min.as_secs_f64())
+            .collect()
+    }
+
+    /// Ratio of the busiest to the least-busy active server — the load
+    /// imbalance HARL is designed to remove.
+    pub fn imbalance(&self) -> f64 {
+        let norm = self.normalized_server_times();
+        norm.iter().cloned().fold(0.0_f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with_busy(times_ms: &[u64]) -> SimReport {
+        // (series unused by these tests)
+        SimReport {
+            makespan: SimNanos::from_secs(1),
+            bytes_read: 1024 * 1024,
+            bytes_written: 0,
+            read_latency: OnlineStats::new(),
+            write_latency: OnlineStats::new(),
+            servers: times_ms
+                .iter()
+                .enumerate()
+                .map(|(i, &ms)| ServerReport {
+                    id: i,
+                    kind: DeviceKind::Hdd,
+                    disk_busy: SimNanos::from_millis(ms),
+                    nic_busy: SimNanos::ZERO,
+                    disk_jobs: 1,
+                    disk_queued: SimNanos::ZERO,
+                    bytes: 0,
+                    busy_series: BusyBuckets::new(SimNanos::from_millis(100), 4),
+                })
+                .collect(),
+            requests_completed: 1,
+            client_finish: vec![],
+        }
+    }
+
+    #[test]
+    fn busy_buckets_split_across_boundaries() {
+        let mut b = BusyBuckets::new(SimNanos(100), 4);
+        b.record(SimNanos(50), SimNanos(250));
+        assert_eq!(b.buckets[0], SimNanos(50));
+        assert_eq!(b.buckets[1], SimNanos(100));
+        assert_eq!(b.buckets[2], SimNanos(50));
+        assert_eq!(b.total(), SimNanos(200));
+        let u = b.utilisation();
+        assert!((u[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_buckets_overflow_goes_to_last() {
+        let mut b = BusyBuckets::new(SimNanos(100), 2);
+        b.record(SimNanos(500), SimNanos(700));
+        assert_eq!(b.buckets[1], SimNanos(200));
+        assert_eq!(b.total(), SimNanos(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate bucket")]
+    fn zero_width_rejected() {
+        BusyBuckets::new(SimNanos::ZERO, 4);
+    }
+
+    #[test]
+    fn throughput_simple() {
+        let r = report_with_busy(&[1]);
+        assert!((r.throughput_mib_s() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalisation_vs_min() {
+        let r = report_with_busy(&[350, 100, 200]);
+        let n = r.normalized_server_times();
+        assert!((n[0] - 3.5).abs() < 1e-9);
+        assert!((n[1] - 1.0).abs() < 1e-9);
+        assert!((r.imbalance() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_servers_ignored_for_min() {
+        let r = report_with_busy(&[0, 100, 300]);
+        let n = r.normalized_server_times();
+        assert_eq!(n[0], 0.0);
+        assert!((n[2] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_idle_is_zeroes() {
+        let r = report_with_busy(&[0, 0]);
+        assert_eq!(r.normalized_server_times(), vec![0.0, 0.0]);
+        assert_eq!(r.imbalance(), 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Requests and client programs.
+//!
+//! A client process interacts with the PFS through an ordered program of
+//! steps. Each [`Step::Io`] is a *batch* of file requests issued
+//! concurrently and completed when all finish — a singleton batch models
+//! synchronous POSIX-style I/O (IOR's behaviour), a wider batch models a
+//! collective-I/O aggregator flushing several file-domain chunks at once.
+//! [`Step::Compute`] models computation between I/O phases (BTIO's
+//! interleaved compute).
+
+use harl_devices::OpKind;
+use harl_simcore::SimNanos;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a physical file within one simulation.
+pub type FileId = usize;
+
+/// One file request against a physical file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhysRequest {
+    /// Target file.
+    pub file: FileId,
+    /// Read or write.
+    pub op: OpKind,
+    /// Byte offset within the file.
+    pub offset: u64,
+    /// Request size in bytes.
+    pub size: u64,
+}
+
+impl PhysRequest {
+    /// Convenience constructor for a read.
+    pub fn read(file: FileId, offset: u64, size: u64) -> Self {
+        PhysRequest {
+            file,
+            op: OpKind::Read,
+            offset,
+            size,
+        }
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(file: FileId, offset: u64, size: u64) -> Self {
+        PhysRequest {
+            file,
+            op: OpKind::Write,
+            offset,
+            size,
+        }
+    }
+}
+
+/// One step of a client program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Step {
+    /// A batch of requests issued concurrently; the step completes when all
+    /// requests complete. Must be non-empty.
+    Io(Vec<PhysRequest>),
+    /// Local computation for the given duration.
+    Compute(SimNanos),
+    /// Synchronise with every other client (MPI_Barrier over all clients).
+    ///
+    /// Barriers are matched by occurrence index: every client's k-th
+    /// `Barrier` step is the same barrier. All clients must execute the
+    /// same number of barriers or the simulation reports a deadlock.
+    Barrier,
+}
+
+/// The full I/O behaviour of one client process.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClientProgram {
+    /// Steps executed strictly in order.
+    pub steps: Vec<Step>,
+}
+
+impl ClientProgram {
+    /// An empty program (a client that does nothing).
+    pub fn new() -> Self {
+        ClientProgram::default()
+    }
+
+    /// Append a synchronous (singleton) request.
+    pub fn push_request(&mut self, req: PhysRequest) {
+        self.steps.push(Step::Io(vec![req]));
+    }
+
+    /// Append a concurrent batch.
+    ///
+    /// # Panics
+    /// Panics on an empty batch — it would stall the client state machine.
+    pub fn push_batch(&mut self, reqs: Vec<PhysRequest>) {
+        assert!(!reqs.is_empty(), "empty I/O batch");
+        self.steps.push(Step::Io(reqs));
+    }
+
+    /// Append a compute phase.
+    pub fn push_compute(&mut self, d: SimNanos) {
+        self.steps.push(Step::Compute(d));
+    }
+
+    /// Append a barrier.
+    pub fn push_barrier(&mut self) {
+        self.steps.push(Step::Barrier);
+    }
+
+    /// Number of barriers in the program.
+    pub fn barrier_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, Step::Barrier))
+            .count()
+    }
+
+    /// Total bytes this program reads and writes, `(read, written)`.
+    pub fn total_bytes(&self) -> (u64, u64) {
+        let mut read = 0;
+        let mut written = 0;
+        for step in &self.steps {
+            if let Step::Io(reqs) = step {
+                for r in reqs {
+                    match r.op {
+                        OpKind::Read => read += r.size,
+                        OpKind::Write => written += r.size,
+                    }
+                }
+            }
+        }
+        (read, written)
+    }
+
+    /// Number of individual file requests in the program.
+    pub fn request_count(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Io(reqs) => reqs.len(),
+                Step::Compute(_) | Step::Barrier => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting() {
+        let mut p = ClientProgram::new();
+        p.push_request(PhysRequest::write(0, 0, 100));
+        p.push_compute(SimNanos::from_millis(5));
+        p.push_batch(vec![PhysRequest::read(0, 0, 30), PhysRequest::read(0, 30, 70)]);
+        assert_eq!(p.total_bytes(), (100, 100));
+        assert_eq!(p.request_count(), 3);
+        assert_eq!(p.steps.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty I/O batch")]
+    fn empty_batch_rejected() {
+        ClientProgram::new().push_batch(vec![]);
+    }
+
+    #[test]
+    fn constructors_set_op() {
+        assert_eq!(PhysRequest::read(1, 2, 3).op, OpKind::Read);
+        assert_eq!(PhysRequest::write(1, 2, 3).op, OpKind::Write);
+    }
+}

@@ -1,0 +1,668 @@
+//! The event-driven hybrid-PFS simulator.
+//!
+//! Client programs run against a set of striped files on a cluster of
+//! heterogeneous servers. Every file request goes through the stages a real
+//! PFS request goes through:
+//!
+//! ```text
+//! client ──MDS lookup──▶ split into per-server sub-requests
+//!   write:  client NIC ▷ server NIC ▷ disk ▷ (ack)
+//!   read :  (request msg) ▷ disk ▷ server NIC ▷ client NIC
+//! ```
+//!
+//! Every box is a FIFO [`Timeline`] resource, so contention (many clients
+//! hammering one SServer, aggregators sharing a node NIC) emerges naturally.
+//! The request completes when its last sub-request completes; a synchronous
+//! client then issues its next request — exactly IOR's behaviour.
+//!
+//! The simulator deliberately models *more* than the paper's analytical
+//! cost model (queueing, per-message latency): the model is an
+//! approximation of this system just as it is an approximation of the
+//! authors' real cluster.
+
+use crate::cluster::ClusterConfig;
+use crate::layout::FileLayout;
+use crate::report::{ServerReport, SimReport};
+use crate::request::{ClientProgram, FileId, Step};
+use harl_devices::OpKind;
+use harl_simcore::{Engine, OnlineStats, SimNanos, SimRng, Timeline};
+
+/// Events of the PFS simulation.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Client begins its next program step.
+    StartStep { client: usize },
+    /// MDS lookup finished; request fans out into sub-requests.
+    MdsDone { req: usize },
+    /// Write payload for one sub-request reached the server's NIC queue.
+    ArriveServerNic { req: usize, sub: usize },
+    /// Sub-request reached the storage device queue.
+    ArriveDisk { req: usize, sub: usize },
+    /// Storage device finished serving the sub-request.
+    DiskDone { req: usize, sub: usize },
+    /// Read payload arrived back at the client's NIC queue.
+    ReturnAtClient { req: usize, sub: usize },
+    /// Sub-request fully complete at the client. (The sub index is not
+    /// needed for completion accounting; only the request id is.)
+    SubDone { req: usize },
+    /// Compute phase finished.
+    ComputeDone { client: usize },
+}
+
+struct ServerState {
+    disk: Timeline,
+    nic: Timeline,
+    rng: SimRng,
+    bytes: u64,
+    busy_series: crate::report::BusyBuckets,
+}
+
+/// Width of the per-server utilisation buckets in reports.
+const BUSY_BUCKET_WIDTH: SimNanos = SimNanos(100_000_000); // 100 ms
+/// Bucket count (the last bucket absorbs longer runs).
+const BUSY_BUCKETS: usize = 1024;
+
+struct ReqState {
+    client: usize,
+    op: OpKind,
+    size: u64,
+    file: FileId,
+    offset: u64,
+    subs: Vec<(usize, u64)>,
+    pending: usize,
+    issued: SimNanos,
+}
+
+struct ClientState {
+    next_step: usize,
+    batch_pending: usize,
+    finished_at: SimNanos,
+}
+
+/// Run `programs` against `files` on `cluster` and report the outcome.
+///
+/// `files[i]` is the layout of [`FileId`] `i`; every request must reference
+/// a valid file id (panics otherwise — that is a harness bug, not a
+/// simulated failure).
+pub fn simulate(
+    cluster: &ClusterConfig,
+    files: &[FileLayout],
+    programs: &[ClientProgram],
+) -> SimReport {
+    let n_servers = cluster.server_count();
+    let mut servers: Vec<ServerState> = (0..n_servers)
+        .map(|id| ServerState {
+            disk: Timeline::new(),
+            nic: Timeline::new(),
+            rng: SimRng::derived(cluster.seed, &format!("server-{id}")),
+            bytes: 0,
+            busy_series: crate::report::BusyBuckets::new(BUSY_BUCKET_WIDTH, BUSY_BUCKETS),
+        })
+        .collect();
+    let mut client_nics: Vec<Timeline> = (0..cluster.compute_nodes)
+        .map(|_| Timeline::new())
+        .collect();
+    let mut mds = Timeline::new();
+
+    let mut clients: Vec<ClientState> = programs
+        .iter()
+        .map(|_| ClientState {
+            next_step: 0,
+            batch_pending: 0,
+            finished_at: SimNanos::ZERO,
+        })
+        .collect();
+
+    // Barrier bookkeeping: barriers are matched by occurrence index, and
+    // every client participates in every barrier. `barrier_waiting[g]` holds
+    // the clients parked at barrier generation g.
+    let total_clients = programs.len();
+    let mut barrier_waiting: Vec<Vec<usize>> = Vec::new();
+    let mut client_barrier_gen: Vec<usize> = vec![0; total_clients];
+
+    let mut reqs: Vec<ReqState> = Vec::new();
+    let mut read_latency = OnlineStats::new();
+    let mut write_latency = OnlineStats::new();
+    let mut bytes_read = 0u64;
+    let mut bytes_written = 0u64;
+    let mut completed = 0u64;
+    let mut last_completion = SimNanos::ZERO;
+
+    let net = cluster.network;
+    let latency = SimNanos::from_secs_f64(net.latency_s);
+
+    let mut engine: Engine<Ev> = Engine::new();
+    for c in 0..programs.len() {
+        engine.schedule(SimNanos::ZERO, Ev::StartStep { client: c });
+    }
+
+    engine.run(|sched, now, ev| match ev {
+        Ev::StartStep { client } => {
+            let state = &mut clients[client];
+            match programs[client].steps.get(state.next_step) {
+                None => {
+                    state.finished_at = now;
+                }
+                Some(Step::Compute(d)) => {
+                    state.next_step += 1;
+                    sched.schedule(now + *d, Ev::ComputeDone { client });
+                }
+                Some(Step::Barrier) => {
+                    state.next_step += 1;
+                    let gen = client_barrier_gen[client];
+                    client_barrier_gen[client] += 1;
+                    if barrier_waiting.len() <= gen {
+                        barrier_waiting.resize_with(gen + 1, Vec::new);
+                    }
+                    barrier_waiting[gen].push(client);
+                    if barrier_waiting[gen].len() == total_clients {
+                        // Last arrival releases everyone.
+                        for c in barrier_waiting[gen].drain(..) {
+                            sched.schedule(now, Ev::StartStep { client: c });
+                        }
+                    }
+                }
+                Some(Step::Io(batch)) => {
+                    state.next_step += 1;
+                    state.batch_pending = batch.len();
+                    for pr in batch {
+                        assert!(
+                            pr.file < files.len(),
+                            "request targets unknown file {}",
+                            pr.file
+                        );
+                        let req = reqs.len();
+                        reqs.push(ReqState {
+                            client,
+                            op: pr.op,
+                            size: pr.size,
+                            file: pr.file,
+                            offset: pr.offset,
+                            subs: Vec::new(),
+                            pending: 0,
+                            issued: now,
+                        });
+                        let grant = mds.acquire(now, cluster.mds_service);
+                        sched.schedule(grant.end, Ev::MdsDone { req });
+                    }
+                }
+            }
+        }
+        Ev::ComputeDone { client } => {
+            sched.schedule(now, Ev::StartStep { client });
+        }
+        Ev::MdsDone { req } => {
+            let (file, offset, size, op, client) = {
+                let r = &reqs[req];
+                (r.file, r.offset, r.size, r.op, r.client)
+            };
+            let subs = if size == 0 {
+                Vec::new()
+            } else {
+                files[file].split(offset, size)
+            };
+            if subs.is_empty() {
+                // Zero-byte request: completes at the MDS.
+                reqs[req].pending = 0;
+                sched.schedule(now, Ev::SubDone { req });
+                return;
+            }
+            reqs[req].pending = subs.len();
+            reqs[req].subs = subs;
+            let node = cluster.node_of(client);
+            let n_subs = reqs[req].subs.len();
+            for sub in 0..n_subs {
+                let (_, z) = reqs[req].subs[sub];
+                match op {
+                    OpKind::Write => {
+                        // Payload leaves through the client NIC, serialised
+                        // with the client's other outbound sub-requests.
+                        let service =
+                            SimNanos::from_secs_f64(z as f64 * net.t_s_per_byte) + latency;
+                        let grant = client_nics[node].acquire(now, service);
+                        sched.schedule(grant.end, Ev::ArriveServerNic { req, sub });
+                    }
+                    OpKind::Read => {
+                        // The read request message is tiny: latency only.
+                        sched.schedule(now + latency, Ev::ArriveDisk { req, sub });
+                    }
+                }
+            }
+        }
+        Ev::ArriveServerNic { req, sub } => {
+            let (server, z) = reqs[req].subs[sub];
+            let service = SimNanos::from_secs_f64(z as f64 * net.t_s_per_byte);
+            let grant = servers[server].nic.acquire(now, service);
+            sched.schedule(grant.end, Ev::ArriveDisk { req, sub });
+        }
+        Ev::ArriveDisk { req, sub } => {
+            let (server, z) = reqs[req].subs[sub];
+            let op = reqs[req].op;
+            let srv = &mut servers[server];
+            let mut service = cluster.profile_of(server).service_time(op, z, &mut srv.rng);
+            // Injected stragglers/degradation windows (crate::faults).
+            let slow = crate::faults::slowdown_at(&cluster.degradations, server, now);
+            if slow != 1.0 {
+                service = harl_simcore::SimNanos::from_secs_f64(service.as_secs_f64() * slow);
+            }
+            let grant = srv.disk.acquire(now, service);
+            srv.bytes += z;
+            srv.busy_series.record(grant.start, grant.end);
+            sched.schedule(grant.end, Ev::DiskDone { req, sub });
+        }
+        Ev::DiskDone { req, sub } => {
+            let (server, z) = reqs[req].subs[sub];
+            match reqs[req].op {
+                OpKind::Write => {
+                    // Acknowledgement back to the client: latency only.
+                    sched.schedule(now + latency, Ev::SubDone { req });
+                }
+                OpKind::Read => {
+                    let service = SimNanos::from_secs_f64(z as f64 * net.t_s_per_byte);
+                    let grant = servers[server].nic.acquire(now, service);
+                    sched.schedule(grant.end + latency, Ev::ReturnAtClient { req, sub });
+                }
+            }
+        }
+        Ev::ReturnAtClient { req, sub } => {
+            let (_, z) = reqs[req].subs[sub];
+            let node = cluster.node_of(reqs[req].client);
+            let service = SimNanos::from_secs_f64(z as f64 * net.t_s_per_byte);
+            let grant = client_nics[node].acquire(now, service);
+            sched.schedule(grant.end, Ev::SubDone { req });
+        }
+        Ev::SubDone { req } => {
+            let done = {
+                let r = &mut reqs[req];
+                r.pending = r.pending.saturating_sub(1);
+                r.pending == 0
+            };
+            if done {
+                let r = &reqs[req];
+                let lat = (now - r.issued).as_secs_f64();
+                match r.op {
+                    OpKind::Read => {
+                        read_latency.push(lat);
+                        bytes_read += r.size;
+                    }
+                    OpKind::Write => {
+                        write_latency.push(lat);
+                        bytes_written += r.size;
+                    }
+                }
+                completed += 1;
+                last_completion = last_completion.max(now);
+                let client = r.client;
+                let c = &mut clients[client];
+                c.batch_pending -= 1;
+                if c.batch_pending == 0 {
+                    sched.schedule(now, Ev::StartStep { client });
+                }
+            }
+        }
+    });
+
+    let stuck: Vec<usize> = barrier_waiting.iter().flatten().copied().collect();
+    assert!(
+        stuck.is_empty(),
+        "collective deadlock: clients {stuck:?} never released from a barrier \
+         (programs disagree on barrier counts)"
+    );
+
+    let server_reports = servers
+        .iter()
+        .enumerate()
+        .map(|(id, s)| ServerReport {
+            id,
+            kind: cluster.profile_of(id).kind,
+            disk_busy: s.disk.busy_time(),
+            nic_busy: s.nic.busy_time(),
+            disk_jobs: s.disk.jobs_served(),
+            disk_queued: s.disk.total_queued(),
+            bytes: s.bytes,
+            busy_series: s.busy_series.clone(),
+        })
+        .collect();
+
+    SimReport {
+        makespan: last_completion.max(
+            clients
+                .iter()
+                .map(|c| c.finished_at)
+                .max()
+                .unwrap_or(SimNanos::ZERO),
+        ),
+        bytes_read,
+        bytes_written,
+        read_latency,
+        write_latency,
+        servers: server_reports,
+        requests_completed: completed,
+        client_finish: clients.iter().map(|c| c.finished_at).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::PhysRequest;
+    use harl_devices::NetworkProfile;
+
+    fn one_file_cluster(stripe: u64) -> (ClusterConfig, Vec<FileLayout>) {
+        let cluster = ClusterConfig::paper_default();
+        let file = FileLayout::fixed(&cluster, stripe);
+        (cluster, vec![file])
+    }
+
+    fn sync_program(reqs: Vec<PhysRequest>) -> ClientProgram {
+        let mut p = ClientProgram::new();
+        for r in reqs {
+            p.push_request(r);
+        }
+        p
+    }
+
+    #[test]
+    fn single_request_completes() {
+        let (cluster, files) = one_file_cluster(64 * 1024);
+        let programs = vec![sync_program(vec![PhysRequest::read(0, 0, 512 * 1024)])];
+        let report = simulate(&cluster, &files, &programs);
+        assert_eq!(report.requests_completed, 1);
+        assert_eq!(report.bytes_read, 512 * 1024);
+        assert_eq!(report.bytes_written, 0);
+        assert!(!report.makespan.is_zero());
+        // Every server got one 64 KiB sub-request.
+        for s in &report.servers {
+            assert_eq!(s.disk_jobs, 1);
+            assert_eq!(s.bytes, 64 * 1024);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (cluster, files) = one_file_cluster(64 * 1024);
+        let mk = || {
+            (0..4)
+                .map(|c| {
+                    sync_program(
+                        (0..8)
+                            .map(|i| PhysRequest::write(0, (c * 8 + i) * 512 * 1024, 512 * 1024))
+                            .collect(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = simulate(&cluster, &files, &mk());
+        let b = simulate(&cluster, &files, &mk());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.bytes_written, b.bytes_written);
+        for (x, y) in a.servers.iter().zip(&b.servers) {
+            assert_eq!(x.disk_busy, y.disk_busy);
+        }
+    }
+
+    #[test]
+    fn hservers_busier_than_sservers_under_fixed_stripe() {
+        // The Fig. 1(a) phenomenon: equal stripes load HDDs ~3.5x longer.
+        let (cluster, files) = one_file_cluster(64 * 1024);
+        let programs: Vec<_> = (0..4)
+            .map(|c| {
+                sync_program(
+                    (0..16u64)
+                        .map(|i| PhysRequest::read(0, (c * 16 + i) * 512 * 1024, 512 * 1024))
+                        .collect(),
+                )
+            })
+            .collect();
+        let report = simulate(&cluster, &files, &programs);
+        let norm = report.normalized_server_times();
+        // Servers 0-5 are HDDs, 6-7 SSDs.
+        let h_avg: f64 = norm[..6].iter().sum::<f64>() / 6.0;
+        let s_avg: f64 = norm[6..].iter().sum::<f64>() / 2.0;
+        assert!(
+            h_avg / s_avg > 2.5,
+            "expected HServers >=2.5x busier, got {h_avg:.2} vs {s_avg:.2}"
+        );
+    }
+
+    #[test]
+    fn balanced_varied_stripe_reduces_imbalance() {
+        // The paper's configuration: 16 processes — storage-bound, so the
+        // layout matters (with very few clients the node NICs dominate).
+        let cluster = ClusterConfig::paper_default();
+        let fixed = vec![FileLayout::fixed(&cluster, 64 * 1024)];
+        let varied = vec![FileLayout::two_class(&cluster, 32 * 1024, 160 * 1024)];
+        let programs: Vec<_> = (0..16)
+            .map(|c| {
+                sync_program(
+                    (0..16u64)
+                        .map(|i| PhysRequest::read(0, (c * 16 + i) * 512 * 1024, 512 * 1024))
+                        .collect(),
+                )
+            })
+            .collect();
+        let rf = simulate(&cluster, &fixed, &programs);
+        let rv = simulate(&cluster, &varied, &programs);
+        assert!(
+            rv.imbalance() < rf.imbalance(),
+            "varied stripes should balance load: {} vs {}",
+            rv.imbalance(),
+            rf.imbalance()
+        );
+        assert!(
+            rv.makespan < rf.makespan,
+            "balanced layout should finish sooner: varied {v} vs fixed {f}",
+            v = rv.makespan,
+            f = rf.makespan
+        );
+    }
+
+    #[test]
+    fn write_slower_than_read_on_ssd_only_layout() {
+        let cluster = ClusterConfig::paper_default();
+        let files = vec![FileLayout::two_class(&cluster, 0, 64 * 1024)];
+        let reads = vec![sync_program(
+            (0..16u64)
+                .map(|i| PhysRequest::read(0, i * 128 * 1024, 128 * 1024))
+                .collect(),
+        )];
+        let writes = vec![sync_program(
+            (0..16u64)
+                .map(|i| PhysRequest::write(0, i * 128 * 1024, 128 * 1024))
+                .collect(),
+        )];
+        let rr = simulate(&cluster, &files, &reads);
+        let rw = simulate(&cluster, &files, &writes);
+        assert!(rw.makespan > rr.makespan, "SSD writes must be slower");
+    }
+
+    #[test]
+    fn zero_byte_request_is_fine() {
+        let (cluster, files) = one_file_cluster(4096);
+        let programs = vec![sync_program(vec![PhysRequest::read(0, 0, 0)])];
+        let report = simulate(&cluster, &files, &programs);
+        assert_eq!(report.requests_completed, 1);
+        assert_eq!(report.bytes_read, 0);
+    }
+
+    #[test]
+    fn compute_phases_delay_io() {
+        let (cluster, files) = one_file_cluster(4096);
+        let mut p = ClientProgram::new();
+        p.push_compute(SimNanos::from_secs(1));
+        p.push_request(PhysRequest::write(0, 0, 4096));
+        let report = simulate(&cluster, &files, &[p]);
+        assert!(report.makespan > SimNanos::from_secs(1));
+        assert!((report.write_latency.mean()) < 0.1, "latency excludes compute");
+    }
+
+    #[test]
+    fn batch_runs_concurrently() {
+        // 8 requests as one batch should finish far faster than 8 issued
+        // synchronously back to back (they overlap at distinct servers).
+        let cluster = ClusterConfig::paper_default().with_network(NetworkProfile::infinitely_fast());
+        let files = vec![FileLayout::fixed(&cluster, 64 * 1024)];
+        // One 64 KiB stripe per server: request i lands on server i.
+        let reqs: Vec<_> = (0..8u64)
+            .map(|i| PhysRequest::read(0, i * 64 * 1024, 64 * 1024))
+            .collect();
+        let mut batch_prog = ClientProgram::new();
+        batch_prog.push_batch(reqs.clone());
+        let sync_prog = sync_program(reqs);
+        let rb = simulate(&cluster, &files, &[batch_prog]);
+        let rs = simulate(&cluster, &files, &[sync_prog]);
+        assert!(
+            rb.makespan.as_nanos() * 3 < rs.makespan.as_nanos() * 2,
+            "batch {b} vs sync {s}",
+            b = rb.makespan,
+            s = rs.makespan
+        );
+    }
+
+    #[test]
+    fn empty_program_finishes_at_zero() {
+        let (cluster, files) = one_file_cluster(4096);
+        let report = simulate(&cluster, &files, &[ClientProgram::new()]);
+        assert_eq!(report.requests_completed, 0);
+        assert_eq!(report.makespan, SimNanos::ZERO);
+    }
+
+    #[test]
+    fn barrier_synchronises_clients() {
+        let (cluster, files) = one_file_cluster(4096);
+        // Client 0 computes 10 ms then hits a barrier; client 1 barriers
+        // immediately and then does I/O. Its I/O cannot start before 10 ms.
+        let mut p0 = ClientProgram::new();
+        p0.push_compute(SimNanos::from_millis(10));
+        p0.push_barrier();
+        let mut p1 = ClientProgram::new();
+        p1.push_barrier();
+        p1.push_request(PhysRequest::read(0, 0, 4096));
+        let report = simulate(&cluster, &files, &[p0, p1]);
+        assert!(report.makespan > SimNanos::from_millis(10));
+        assert_eq!(report.requests_completed, 1);
+    }
+
+    #[test]
+    fn repeated_barriers_match_by_index() {
+        let (cluster, files) = one_file_cluster(4096);
+        let mk = |work: u64| {
+            let mut p = ClientProgram::new();
+            for _ in 0..5 {
+                p.push_compute(SimNanos::from_millis(work));
+                p.push_barrier();
+            }
+            p
+        };
+        // Slowest client paces every round: 5 x 7 ms.
+        let report = simulate(&cluster, &files, &[mk(1), mk(7), mk(3)]);
+        assert_eq!(report.client_finish.len(), 3);
+        let end = report.client_finish.iter().max().unwrap();
+        assert_eq!(*end, SimNanos::from_millis(35));
+    }
+
+    #[test]
+    #[should_panic(expected = "collective deadlock")]
+    fn mismatched_barriers_deadlock() {
+        let (cluster, files) = one_file_cluster(4096);
+        let mut p0 = ClientProgram::new();
+        p0.push_barrier();
+        let p1 = ClientProgram::new();
+        simulate(&cluster, &files, &[p0, p1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown file")]
+    fn unknown_file_panics() {
+        let (cluster, files) = one_file_cluster(4096);
+        let programs = vec![sync_program(vec![PhysRequest::read(9, 0, 10)])];
+        simulate(&cluster, &files, &programs);
+    }
+
+    #[test]
+    fn busy_series_totals_match_disk_busy() {
+        let (cluster, files) = one_file_cluster(64 * 1024);
+        let programs: Vec<_> = (0..4)
+            .map(|c| {
+                sync_program(
+                    (0..8u64)
+                        .map(|i| PhysRequest::read(0, (c * 8 + i) * 512 * 1024, 512 * 1024))
+                        .collect(),
+                )
+            })
+            .collect();
+        let report = simulate(&cluster, &files, &programs);
+        for s in &report.servers {
+            assert_eq!(
+                s.busy_series.total(),
+                s.disk_busy,
+                "series must account for every busy nanosecond on server {}",
+                s.id
+            );
+        }
+    }
+
+    #[test]
+    fn straggler_slows_the_run() {
+        use crate::faults::Degradation;
+        let base = ClusterConfig::paper_default();
+        let degraded = ClusterConfig::paper_default()
+            .with_degradation(Degradation::permanent(0, 8.0));
+        let files_a = vec![FileLayout::fixed(&base, 64 * 1024)];
+        let files_b = vec![FileLayout::fixed(&degraded, 64 * 1024)];
+        let programs: Vec<_> = (0..8)
+            .map(|c| {
+                sync_program(
+                    (0..8u64)
+                        .map(|i| PhysRequest::read(0, (c * 8 + i) * 512 * 1024, 512 * 1024))
+                        .collect(),
+                )
+            })
+            .collect();
+        let healthy = simulate(&base, &files_a, &programs);
+        let hurt = simulate(&degraded, &files_b, &programs);
+        assert!(
+            hurt.makespan.as_nanos() > healthy.makespan.as_nanos() * 3,
+            "8x straggler on the critical HServer should dominate: {} vs {}",
+            hurt.makespan,
+            healthy.makespan
+        );
+        // The straggler's own busy time grows; others' stay equal.
+        assert!(hurt.servers[0].disk_busy > healthy.servers[0].disk_busy * 7);
+        assert_eq!(hurt.servers[3].disk_busy, healthy.servers[3].disk_busy);
+    }
+
+    #[test]
+    fn transient_window_only_affects_its_span() {
+        use crate::faults::Degradation;
+        // Degradation window entirely after the workload completes: no
+        // effect at all.
+        let base = ClusterConfig::paper_default();
+        let late = ClusterConfig::paper_default().with_degradation(Degradation {
+            server: 0,
+            from: SimNanos::from_secs(3600),
+            until: SimNanos::MAX,
+            slowdown: 100.0,
+        });
+        let files = vec![FileLayout::fixed(&base, 64 * 1024)];
+        let programs = vec![sync_program(vec![PhysRequest::read(0, 0, 512 * 1024)])];
+        let a = simulate(&base, &files, &programs);
+        let b = simulate(&late, &files, &programs);
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn mds_serialises_lookups() {
+        // 100 zero-latency clients hitting the MDS at t=0 must serialise:
+        // makespan >= 100 * mds_service even with free network/storage.
+        let mut cluster = ClusterConfig::paper_default()
+            .with_network(NetworkProfile::infinitely_fast());
+        cluster.mds_service = SimNanos::from_micros(100);
+        let files = vec![FileLayout::fixed(&cluster, 4096)];
+        let programs: Vec<_> = (0..100)
+            .map(|i| sync_program(vec![PhysRequest::read(0, i * 4096, 1)]))
+            .collect();
+        let report = simulate(&cluster, &files, &programs);
+        assert!(report.makespan >= SimNanos::from_micros(100) * 100);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests: the closed-form striping geometry against a brute-force
+//! byte-by-byte oracle, over arbitrary K-class layouts.
+
+use harl_pfs::GroupLayout;
+use proptest::prelude::*;
+
+/// Oracle: walk the bytes (sampled sparsely for large ranges is not
+/// acceptable for an oracle, so ranges are kept small).
+fn brute_bytes(widths: &[u64], slot: usize, offset: u64, len: u64) -> u64 {
+    let group: u64 = widths.iter().sum();
+    let start: u64 = widths[..slot].iter().sum();
+    let w = widths[slot];
+    (offset..offset + len)
+        .filter(|&x| {
+            let r = x % group;
+            r >= start && r < start + w
+        })
+        .count() as u64
+}
+
+prop_compose! {
+    fn layout()(widths in prop::collection::vec(0u64..64, 1..6)) -> Vec<u64> {
+        let mut w: Vec<u64> = widths.iter().map(|&x| x * 512).collect();
+        if w.iter().all(|&x| x == 0) {
+            w[0] = 512;
+        }
+        w
+    }
+}
+
+proptest! {
+    #[test]
+    fn closed_form_equals_oracle(
+        widths in layout(),
+        offset in 0u64..100_000,
+        len in 1u64..5_000,
+    ) {
+        let gl = GroupLayout::new(widths.clone());
+        for slot in 0..widths.len() {
+            prop_assert_eq!(
+                gl.bytes_in_range(slot, offset, len),
+                brute_bytes(&widths, slot, offset, len),
+                "slot {} of {:?} at [{}, {})", slot, widths, offset, offset + len
+            );
+        }
+    }
+
+    #[test]
+    fn split_is_partition(
+        widths in layout(),
+        offset in 0u64..(1 << 40),
+        len in 1u64..(1 << 24),
+    ) {
+        let gl = GroupLayout::new(widths.clone());
+        let split = gl.split(offset, len);
+        let total: u64 = split.iter().map(|&(_, b)| b).sum();
+        prop_assert_eq!(total, len);
+        // Slots appear at most once, in order.
+        for w in split.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        // Zero-width slots never appear.
+        for &(slot, _) in &split {
+            prop_assert!(widths[slot] > 0);
+        }
+    }
+
+    #[test]
+    fn largest_fragment_bounded(
+        widths in layout(),
+        offset in 0u64..(1 << 30),
+        len in 1u64..(1 << 20),
+    ) {
+        let gl = GroupLayout::new(widths.clone());
+        for slot in 0..widths.len() {
+            let frag = gl.largest_fragment(slot, offset, len);
+            prop_assert!(frag <= widths[slot].max(0));
+            prop_assert!(frag <= len);
+            // A slot with bytes has a fragment and vice versa.
+            let bytes = gl.bytes_in_range(slot, offset, len);
+            prop_assert_eq!(frag == 0, bytes == 0);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Byte-size units and formatting.
+//!
+//! The HARL paper works in binary units (stripe sizes of 64KB mean
+//! 64 × 1024 bytes), so the constants here are the binary KiB/MiB/GiB even
+//! though the paper writes "KB".
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One kibibyte (what the paper calls "1KB").
+pub const KIB: u64 = 1024;
+/// One mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+/// A byte count with pretty-printing, used for stripe sizes, request sizes
+/// and file sizes throughout the workspace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Construct from raw bytes.
+    #[inline]
+    pub const fn bytes(n: u64) -> Self {
+        ByteSize(n)
+    }
+
+    /// Construct from kibibytes.
+    #[inline]
+    pub const fn kib(n: u64) -> Self {
+        ByteSize(n * KIB)
+    }
+
+    /// Construct from mebibytes.
+    #[inline]
+    pub const fn mib(n: u64) -> Self {
+        ByteSize(n * MIB)
+    }
+
+    /// Construct from gibibytes.
+    #[inline]
+    pub const fn gib(n: u64) -> Self {
+        ByteSize(n * GIB)
+    }
+
+    /// The raw byte count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// This size in fractional MiB (the unit used for throughput reporting).
+    #[inline]
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / MIB as f64
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b == 0 {
+            write!(f, "0B")
+        } else if b.is_multiple_of(GIB) {
+            write!(f, "{}GiB", b / GIB)
+        } else if b.is_multiple_of(MIB) {
+            write!(f, "{}MiB", b / MIB)
+        } else if b.is_multiple_of(KIB) {
+            write!(f, "{}KiB", b / KIB)
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+impl From<u64> for ByteSize {
+    fn from(n: u64) -> Self {
+        ByteSize(n)
+    }
+}
+
+/// Aggregate throughput in MiB/s given total bytes moved and elapsed time.
+///
+/// Returns 0.0 for a zero-length interval rather than dividing by zero —
+/// callers report it as "no data".
+#[inline]
+pub fn throughput_mib_s(total_bytes: u64, elapsed: crate::SimNanos) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    (total_bytes as f64 / MIB as f64) / secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimNanos;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(ByteSize::kib(64).as_u64(), 65_536);
+        assert_eq!(ByteSize::mib(1).as_u64(), 1_048_576);
+        assert_eq!(ByteSize::gib(1).as_u64(), 1_073_741_824);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(ByteSize::kib(64).to_string(), "64KiB");
+        assert_eq!(ByteSize::mib(3).to_string(), "3MiB");
+        assert_eq!(ByteSize::gib(2).to_string(), "2GiB");
+        assert_eq!(ByteSize(100).to_string(), "100B");
+        assert_eq!(ByteSize(0).to_string(), "0B");
+    }
+
+    #[test]
+    fn throughput_basic() {
+        // 1 MiB in 1 second = 1 MiB/s.
+        let t = throughput_mib_s(MIB, SimNanos::from_secs(1));
+        assert!((t - 1.0).abs() < 1e-9);
+        // 512 MiB in 2 s = 256 MiB/s.
+        let t = throughput_mib_s(512 * MIB, SimNanos::from_secs(2));
+        assert!((t - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_zero_interval_is_zero() {
+        assert_eq!(throughput_mib_s(MIB, SimNanos::ZERO), 0.0);
+    }
+
+    #[test]
+    fn mib_f64() {
+        assert!((ByteSize::kib(512).as_mib_f64() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,53 @@
+//! Property tests on the FIFO timeline and the event engine.
+
+use harl_simcore::{Engine, SimNanos, Timeline};
+use proptest::prelude::*;
+
+proptest! {
+    /// Grants never overlap, never start before arrival, and keep FIFO
+    /// order for arrival-ordered offers.
+    #[test]
+    fn timeline_grants_are_serial(
+        jobs in prop::collection::vec((0u64..1_000_000, 0u64..10_000), 1..64),
+    ) {
+        let mut sorted = jobs.clone();
+        sorted.sort_by_key(|&(arrival, _)| arrival);
+        let mut t = Timeline::new();
+        let mut prev_end = SimNanos::ZERO;
+        let mut busy = 0u64;
+        for &(arrival, service) in &sorted {
+            let g = t.acquire(SimNanos(arrival), SimNanos(service));
+            prop_assert!(g.start >= SimNanos(arrival));
+            prop_assert!(g.start >= prev_end, "grants must not overlap");
+            prop_assert_eq!(g.end, g.start + SimNanos(service));
+            prop_assert_eq!(g.queued, g.start - SimNanos(arrival));
+            prev_end = g.end;
+            busy += service;
+        }
+        prop_assert_eq!(t.busy_time(), SimNanos(busy));
+        prop_assert_eq!(t.jobs_served(), sorted.len() as u64);
+    }
+
+    /// The engine delivers every scheduled event exactly once, in
+    /// non-decreasing time order, with insertion order breaking ties.
+    #[test]
+    fn engine_delivers_in_order(times in prop::collection::vec(0u64..1_000, 1..256)) {
+        let mut engine = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            engine.schedule(SimNanos(t), i);
+        }
+        let mut delivered: Vec<(u64, usize)> = Vec::new();
+        engine.run(|_, now, idx| delivered.push((now.as_nanos(), idx)));
+        prop_assert_eq!(delivered.len(), times.len());
+        for w in delivered.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "tie broke out of insertion order");
+            }
+        }
+        // Exactly-once delivery.
+        let mut seen: Vec<usize> = delivered.iter().map(|&(_, i)| i).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+    }
+}

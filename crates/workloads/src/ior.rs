@@ -1,0 +1,286 @@
+//! IOR-like synthetic benchmark (paper Sec. IV-B).
+//!
+//! The paper's IOR runs: P processes share one file; each process owns the
+//! contiguous 1/P of the file and "continuously issues requests with random
+//! offsets" of a fixed request size within its segment. Reads and writes
+//! are measured as separate runs. This module generates exactly those
+//! request streams (random mode shuffles the segment's blocks so each block
+//! is touched once — IOR's `-z` behaviour — keeping total bytes fixed).
+
+use harl_devices::OpKind;
+use harl_middleware::{LogicalRequest, Workload};
+use harl_simcore::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Offset ordering within each process's segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessOrder {
+    /// Ascending offsets.
+    Sequential,
+    /// Random permutation of the segment's blocks (IOR `-z`).
+    Random,
+}
+
+/// Configuration of one IOR run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IorConfig {
+    /// Number of processes (the paper uses 8–256; default 16).
+    pub processes: usize,
+    /// Request size in bytes (default 512 KiB).
+    pub request_size: u64,
+    /// Shared file size in bytes (the paper uses 16 GiB; scale down for
+    /// quick runs — throughput is bytes/makespan either way).
+    pub file_size: u64,
+    /// Read or write run.
+    pub op: OpKind,
+    /// Offset ordering.
+    pub order: AccessOrder,
+    /// Seed for the random ordering.
+    pub seed: u64,
+}
+
+impl IorConfig {
+    /// The paper's default setup: 16 processes, 512 KiB requests, shared
+    /// file, random offsets — at a scaled-down file size chosen by the
+    /// caller.
+    pub fn paper_default(op: OpKind, file_size: u64) -> Self {
+        IorConfig {
+            processes: 16,
+            request_size: 512 * 1024,
+            file_size,
+            op,
+            order: AccessOrder::Random,
+            seed: 0x10,
+        }
+    }
+
+    /// Requests each process issues.
+    pub fn requests_per_process(&self) -> u64 {
+        let segment = self.file_size / self.processes as u64;
+        segment / self.request_size
+    }
+
+    /// Generate the workload.
+    ///
+    /// # Panics
+    /// Panics if the file cannot hold at least one request per process.
+    pub fn build(&self) -> Workload {
+        assert!(self.processes > 0, "need at least one process");
+        assert!(self.request_size > 0, "request size must be positive");
+        let segment = self.file_size / self.processes as u64;
+        let blocks = segment / self.request_size;
+        assert!(
+            blocks > 0,
+            "file of {} too small for {} processes at request size {}",
+            self.file_size,
+            self.processes,
+            self.request_size
+        );
+
+        let mut workload = Workload::with_ranks(self.processes);
+        for (rank, prog) in workload.ranks.iter_mut().enumerate() {
+            let base = rank as u64 * segment;
+            let mut order: Vec<u64> = (0..blocks).collect();
+            if self.order == AccessOrder::Random {
+                let mut rng = SimRng::derived(self.seed, &format!("ior-rank-{rank}"));
+                rng.shuffle(&mut order);
+            }
+            for block in order {
+                let offset = base + block * self.request_size;
+                prog.push_request(LogicalRequest {
+                    op: self.op,
+                    offset,
+                    size: self.request_size,
+                });
+            }
+        }
+        workload
+    }
+}
+
+/// The paper's Fig. 11 workload: a modified IOR accessing a four-region
+/// file, each region with its own size and request size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiRegionIorConfig {
+    /// `(region_size, request_size)` per region, in file order.
+    pub regions: Vec<(u64, u64)>,
+    /// Number of processes.
+    pub processes: usize,
+    /// Read or write run.
+    pub op: OpKind,
+    /// Seed for the random ordering.
+    pub seed: u64,
+}
+
+impl MultiRegionIorConfig {
+    /// The paper's four regions (256 MiB / 1 GiB / 2 GiB / 4 GiB), scaled
+    /// by `scale` (1.0 = paper size). The paper does not state the four
+    /// request sizes; we use 64 KiB / 256 KiB / 1 MiB / 2 MiB, spanning the
+    /// same range as its Fig. 1(b) sweep.
+    pub fn paper_default(op: OpKind, scale: f64) -> Self {
+        const MIB: u64 = 1024 * 1024;
+        let sz = |mib: u64| ((mib as f64 * scale) as u64).max(8) * MIB;
+        MultiRegionIorConfig {
+            regions: vec![
+                (sz(256), 64 * 1024),
+                (sz(1024), 256 * 1024),
+                (sz(2048), 1024 * 1024),
+                (sz(4096), 2 * 1024 * 1024),
+            ],
+            processes: 16,
+            op,
+            seed: 0x11,
+        }
+    }
+
+    /// Total file size.
+    pub fn file_size(&self) -> u64 {
+        self.regions.iter().map(|&(len, _)| len).sum()
+    }
+
+    /// Generate the workload: within each region, processes share the
+    /// region IOR-style (each owns 1/P, random block order).
+    pub fn build(&self) -> Workload {
+        assert!(self.processes > 0, "need at least one process");
+        let mut workload = Workload::with_ranks(self.processes);
+        let mut region_base = 0u64;
+        for (ridx, &(region_len, request_size)) in self.regions.iter().enumerate() {
+            assert!(request_size > 0, "request size must be positive");
+            let segment = region_len / self.processes as u64;
+            let blocks = segment / request_size;
+            for (rank, prog) in workload.ranks.iter_mut().enumerate() {
+                let base = region_base + rank as u64 * segment;
+                let mut order: Vec<u64> = (0..blocks).collect();
+                let mut rng =
+                    SimRng::derived(self.seed, &format!("mr-ior-{ridx}-rank-{rank}"));
+                rng.shuffle(&mut order);
+                for block in order {
+                    prog.push_request(LogicalRequest {
+                        op: self.op,
+                        offset: base + block * request_size,
+                        size: request_size,
+                    });
+                }
+            }
+            region_base += region_len;
+        }
+        workload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KB: u64 = 1024;
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn paper_default_shape() {
+        let cfg = IorConfig::paper_default(OpKind::Read, 256 * MB);
+        let w = cfg.build();
+        assert_eq!(w.rank_count(), 16);
+        let (read, written) = w.total_bytes();
+        assert_eq!(read, 256 * MB);
+        assert_eq!(written, 0);
+        assert_eq!(cfg.requests_per_process(), 32);
+    }
+
+    #[test]
+    fn segments_are_disjoint() {
+        let cfg = IorConfig {
+            processes: 4,
+            request_size: 64 * KB,
+            file_size: 16 * MB,
+            op: OpKind::Write,
+            order: AccessOrder::Sequential,
+            seed: 0,
+        };
+        let w = cfg.build();
+        let segment = 4 * MB;
+        for (rank, prog) in w.ranks.iter().enumerate() {
+            for step in &prog.steps {
+                if let harl_middleware::LogicalStep::Independent(reqs) = step {
+                    for r in reqs {
+                        assert!(r.offset >= rank as u64 * segment);
+                        assert!(r.offset + r.size <= (rank as u64 + 1) * segment);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_order_is_permutation() {
+        let cfg = IorConfig {
+            processes: 1,
+            request_size: MB,
+            file_size: 32 * MB,
+            op: OpKind::Read,
+            order: AccessOrder::Random,
+            seed: 3,
+        };
+        let w = cfg.build();
+        let mut offsets: Vec<u64> = w.ranks[0]
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                harl_middleware::LogicalStep::Independent(r) => Some(r[0].offset),
+                _ => None,
+            })
+            .collect();
+        let sequential: Vec<u64> = (0..32).map(|i| i * MB).collect();
+        assert_ne!(offsets, sequential, "random order should differ");
+        offsets.sort_unstable();
+        assert_eq!(offsets, sequential, "every block touched exactly once");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = IorConfig::paper_default(OpKind::Read, 64 * MB);
+        assert_eq!(cfg.build(), cfg.build());
+    }
+
+    #[test]
+    fn multi_region_covers_all_regions() {
+        let cfg = MultiRegionIorConfig::paper_default(OpKind::Write, 1.0 / 64.0);
+        let w = cfg.build();
+        let (_, written) = w.total_bytes();
+        assert!(written > 0);
+        assert!(w.extent() <= cfg.file_size());
+        // Requests in the last region are 2 MiB; in the first, 64 KiB.
+        let first_region_len = cfg.regions[0].0;
+        let mut seen_small = false;
+        let mut seen_large = false;
+        for prog in &w.ranks {
+            for step in &prog.steps {
+                if let harl_middleware::LogicalStep::Independent(reqs) = step {
+                    for r in reqs {
+                        if r.offset < first_region_len {
+                            assert_eq!(r.size, 64 * KB);
+                            seen_small = true;
+                        }
+                        if r.size == 2 * MB {
+                            seen_large = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(seen_small && seen_large);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_file_rejected() {
+        IorConfig {
+            processes: 16,
+            request_size: MB,
+            file_size: MB,
+            op: OpKind::Read,
+            order: AccessOrder::Sequential,
+            seed: 0,
+        }
+        .build();
+    }
+}

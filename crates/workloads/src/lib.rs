@@ -1,0 +1,22 @@
+//! # harl-workloads — the benchmarks of the paper's evaluation
+//!
+//! * [`ior`] — the IOR-like generator (uniform runs and the Fig. 11
+//!   four-region non-uniform variant).
+//! * [`btio`] — the BTIO-like generator (NAS BT, full subtype: collective
+//!   nested-strided dumps + verification read-back).
+//! * [`phased`] — arbitrary multi-phase workloads (drift scenarios,
+//!   checkpoint/restart shapes).
+//! * [`mod@replay`] — rebuild a workload from a recorded trace.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod btio;
+pub mod ior;
+pub mod phased;
+pub mod replay;
+
+pub use btio::BtioConfig;
+pub use ior::{AccessOrder, IorConfig, MultiRegionIorConfig};
+pub use phased::{Phase, PhasedConfig};
+pub use replay::replay;

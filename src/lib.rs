@@ -1,0 +1,59 @@
+//! # harl-repro — reproduction of HARL (ICPP 2015)
+//!
+//! *"A Heterogeneity-Aware Region-Level Data Layout for Hybrid Parallel
+//! File Systems"*, He, Sun, Wang, Kougkas, Haider.
+//!
+//! This facade crate re-exports the whole workspace so examples and
+//! downstream users need a single dependency:
+//!
+//! * [`simcore`] — discrete-event simulation kernel
+//! * [`devices`] — HDD/SSD/network performance models + calibration
+//! * [`pfs`] — the simulated hybrid parallel file system
+//! * [`harl`] — the paper's contribution (trace, regions, cost model,
+//!   optimizer, RST, policies, migration, K-profile extension)
+//! * [`middleware`] — the MPI-IO-like layer (R2F, two-phase collective I/O)
+//! * [`workloads`] — IOR- and BTIO-like generators
+//!
+//! ```
+//! use harl_repro::prelude::*;
+//!
+//! let cluster = ClusterConfig::paper_default();
+//! let workload = IorConfig::paper_default(OpKind::Read, 256 << 20).build();
+//! let policy = HarlPolicy::new(CostModelParams::from_cluster(&cluster));
+//! let (rst, report) = trace_plan_run(
+//!     &cluster, &policy, &workload, &CollectiveConfig::default());
+//! assert!(rst.len() >= 1);
+//! assert!(report.throughput_mib_s() > 0.0);
+//! ```
+
+pub use harl_core as harl;
+pub use harl_devices as devices;
+pub use harl_middleware as middleware;
+pub use harl_pfs as pfs;
+pub use harl_simcore as simcore;
+pub use harl_workloads as workloads;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use harl_core::{
+        CostModelParams, FixedPolicy, HarlPolicy, LayoutPolicy, MultiProfileModel,
+        MultiProfileOptimizer, OptimizerConfig, RandomPolicy, RegionDivisionConfig,
+        RegionStripeTable, RstEntry, SegmentPolicy, ServerLevelPolicy, SpaceBalancer, Trace,
+        TraceRecord,
+    };
+    pub use harl_devices::{
+        calibrate_network, calibrate_storage, hdd_2015_preset, nvme_2020_preset,
+        ssd_2015_preset, CalibrationConfig, DeviceKind, NetworkProfile, OpKind, StorageProfile,
+    };
+    pub use harl_middleware::{
+        collect_trace, collect_trace_lowered, run_workload, trace_plan_run, CollectiveConfig,
+        LogicalRequest, RankProgram, Workload,
+    };
+    pub use harl_pfs::{
+        simulate, ClientProgram, ClusterConfig, FileLayout, PhysRequest, SimReport,
+    };
+    pub use harl_simcore::{ByteSize, SimNanos, GIB, KIB, MIB};
+    pub use harl_workloads::{
+        replay, AccessOrder, BtioConfig, IorConfig, MultiRegionIorConfig, Phase, PhasedConfig,
+    };
+}
