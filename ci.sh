@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI: the checks every change must pass before landing.
+#
+#   ./ci.sh          # fmt + clippy + tests
+#
+# All dependencies are vendored (see vendor/), so this runs fully offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "CI OK"

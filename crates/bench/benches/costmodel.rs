@@ -30,7 +30,14 @@ fn costmodel(c: &mut Criterion) {
         let mut offset = 0u64;
         b.iter(|| {
             offset = (offset + 512 * 1024) % (1 << 30);
-            black_box(server_loads(offset, 512 * 1024, 6, 32 * 1024, 2, 160 * 1024))
+            black_box(server_loads(
+                offset,
+                512 * 1024,
+                6,
+                32 * 1024,
+                2,
+                160 * 1024,
+            ))
         })
     });
     group.finish();

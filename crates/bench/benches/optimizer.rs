@@ -3,12 +3,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use harl_core::{
-    divide_regions, optimize_region, CostModelParams, OptimizerConfig, RegionDivisionConfig,
-    RegionRequests, TraceRecord,
+    divide_regions, optimize_region, optimize_region_recorded, CostModelParams, OptimizerConfig,
+    RegionDivisionConfig, RegionRequests, TraceRecord,
 };
 use harl_devices::OpKind;
 use harl_pfs::ClusterConfig;
-use harl_simcore::SimNanos;
+use harl_simcore::{NoopRecorder, SimNanos};
 use std::hint::black_box;
 
 fn records(n: usize, size: u64) -> Vec<TraceRecord> {
@@ -37,10 +37,27 @@ fn optimizer(c: &mut Criterion) {
             max_requests_per_eval: 256,
             ..OptimizerConfig::default()
         };
+        group.bench_with_input(BenchmarkId::new("grid_512K", threads), &cfg, |b, cfg| {
+            b.iter(|| black_box(optimize_region(&model, &reqs, 512 * 1024, cfg)))
+        });
+        // Same search through the instrumented entry point with the no-op
+        // recorder: must track grid_512K within noise (the observability
+        // acceptance bar — disabled instrumentation costs nothing).
         group.bench_with_input(
-            BenchmarkId::new("grid_512K", threads),
+            BenchmarkId::new("grid_512K_noop_recorder", threads),
             &cfg,
-            |b, cfg| b.iter(|| black_box(optimize_region(&model, &reqs, 512 * 1024, cfg))),
+            |b, cfg| {
+                b.iter(|| {
+                    black_box(optimize_region_recorded(
+                        &model,
+                        &reqs,
+                        512 * 1024,
+                        cfg,
+                        0,
+                        &NoopRecorder,
+                    ))
+                })
+            },
         );
     }
 

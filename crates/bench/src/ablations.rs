@@ -31,8 +31,7 @@ use serde_json::{json, Value};
 /// (heterogeneity-aware only), HARL (both).
 pub fn abl_region(scale: &Scale) -> FigureResult {
     let cluster = ClusterConfig::paper_default();
-    let model =
-        CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
+    let model = CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
     let factor = scale.ior_file as f64 / (16.0 * 1024.0 * 1024.0 * 1024.0);
     let opt = OptimizerConfig {
         max_requests_per_eval: scale.opt_sample,
@@ -57,7 +56,8 @@ pub fn abl_region(scale: &Scale) -> FigureResult {
         }),
     ];
 
-    let mut text = String::from("\n== Ablation: region-level adaptation (non-uniform workload) ==\n");
+    let mut text =
+        String::from("\n== Ablation: region-level adaptation (non-uniform workload) ==\n");
     let mut json_parts = serde_json::Map::new();
     for op in [OpKind::Read, OpKind::Write] {
         let w = MultiRegionIorConfig::paper_default(op, factor).build();
@@ -97,8 +97,7 @@ pub fn abl_region(scale: &Scale) -> FigureResult {
 /// Grid-step ablation: precision vs analysis cost of Algorithm 2.
 pub fn abl_step(scale: &Scale) -> FigureResult {
     let cluster = ClusterConfig::paper_default();
-    let model =
-        CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
+    let model = CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
     let w = harl_workloads::IorConfig {
         processes: 16,
         request_size: 512 * 1024,
@@ -253,7 +252,11 @@ pub fn abl_multiapp(scale: &Scale) -> FigureResult {
         &[(&default_big, &app_big), (&default_small, &app_small)],
         &ccfg,
     );
-    let shared_harl = run_shared(&cluster, &[(&rst_big, &app_big), (&rst_small, &app_small)], &ccfg);
+    let shared_harl = run_shared(
+        &cluster,
+        &[(&rst_big, &app_big), (&rst_small, &app_small)],
+        &ccfg,
+    );
 
     let mut text = String::from(
         "
@@ -261,7 +264,10 @@ pub fn abl_multiapp(scale: &Scale) -> FigureResult {
 ",
     );
     let mut rows = Vec::new();
-    for (label, report) in [("default-64K", &shared_default), ("HARL-per-app", &shared_harl)] {
+    for (label, report) in [
+        ("default-64K", &shared_default),
+        ("HARL-per-app", &shared_harl),
+    ] {
         text.push_str(&format!(
             "{:<14} app1(512K): {:>7.1} MiB/s   app2(128K): {:>7.1} MiB/s   cluster: {:>7.1} MiB/s
 ",
@@ -311,8 +317,7 @@ pub fn abl_straggler(scale: &Scale) -> FigureResult {
     let harl = crate::harness::harl_policy(&healthy, scale);
     let trace = collect_trace_lowered(&healthy, &w, &harl_middleware::CollectiveConfig::default());
     let harl_rst = harl.plan(&trace, w.extent().max(1));
-    let default_rst =
-        FixedPolicy::new(64 * 1024).plan(&trace, w.extent().max(1));
+    let default_rst = FixedPolicy::new(64 * 1024).plan(&trace, w.extent().max(1));
 
     let scenarios: Vec<(&str, ClusterConfig)> = vec![
         ("healthy", healthy.clone()),
@@ -326,7 +331,8 @@ pub fn abl_straggler(scale: &Scale) -> FigureResult {
         ),
     ];
 
-    let mut text = String::from("\n== Ablation: straggler robustness (plans from healthy calibration) ==\n");
+    let mut text =
+        String::from("\n== Ablation: straggler robustness (plans from healthy calibration) ==\n");
     text.push_str(&format!(
         "{:<20} {:>14} {:>14} {:>12}\n",
         "scenario", "default MiB/s", "HARL MiB/s", "HARL adv."

@@ -1,22 +1,30 @@
 //! Experiment driver: regenerates every results figure of the paper.
 //!
 //! ```text
-//! experiments [--paper] [--out DIR] <fig1a|fig1b|fig7|fig8|fig9|fig10|fig11|fig12|headline|all>
+//! experiments [--paper] [--out DIR] [--metrics-out FILE] [--trace-out FILE]
+//!             <fig1a|fig1b|fig7|fig8|fig9|fig10|fig11|fig12|headline|all>
 //! ```
 //!
 //! `--paper` runs at the paper's full sizes (16 GiB IOR files, ≈1.7 GB
 //! BTIO); the default quick scale is shape-identical. Tables print to
 //! stdout; JSON records land in `--out` (default `results/`).
+//!
+//! `--metrics-out` installs the in-memory recorder for every measured run
+//! and dumps the aggregated series (per-server latency histograms,
+//! per-region routing counters, request spans, …) as JSONL when the suite
+//! finishes; `--trace-out` additionally writes the request spans in Chrome
+//! trace-event format (load into `chrome://tracing` or Perfetto).
 
 use harl_bench::{
-    abl_model, abl_multiapp, abl_profiles, abl_region, abl_step, abl_straggler, fig10, fig11, fig12, fig1a, fig1b, fig7, fig8,
-    fig9, headline, Scale,
+    abl_model, abl_multiapp, abl_profiles, abl_region, abl_step, abl_straggler, fig10, fig11,
+    fig12, fig1a, fig1b, fig7, fig8, fig9, headline, install_recorder, Scale,
 };
+use std::io::BufWriter;
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--paper] [--out DIR] \
+        "usage: experiments [--paper] [--out DIR] [--metrics-out FILE] [--trace-out FILE] \
          <fig1a|fig1b|fig7|fig8|fig9|fig10|fig11|fig12|headline|\
          abl-region|abl-step|abl-model|abl-profiles|abl-straggler|abl-multiapp|all|ablations>"
     );
@@ -26,6 +34,8 @@ fn usage() -> ! {
 fn main() {
     let mut scale = Scale::quick();
     let mut out_dir = PathBuf::from("results");
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -35,29 +45,57 @@ fn main() {
             "--out" => {
                 out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage()));
             }
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
             "--help" | "-h" => usage(),
             name => targets.push(name.to_string()),
         }
     }
+    let recorder = if metrics_out.is_some() || trace_out.is_some() {
+        Some(install_recorder())
+    } else {
+        None
+    };
     if targets.is_empty() {
         usage();
     }
     if targets.iter().any(|t| t == "all") {
         targets = [
-            "fig1a", "fig1b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "headline",
-            "abl-region", "abl-step", "abl-model", "abl-profiles", "abl-straggler", "abl-multiapp",
+            "fig1a",
+            "fig1b",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "headline",
+            "abl-region",
+            "abl-step",
+            "abl-model",
+            "abl-profiles",
+            "abl-straggler",
+            "abl-multiapp",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
     } else if targets.iter().any(|t| t == "ablations") {
         targets = [
-            "abl-region", "abl-step", "abl-model", "abl-profiles", "abl-straggler",
+            "abl-region",
+            "abl-step",
+            "abl-model",
+            "abl-profiles",
+            "abl-straggler",
             "abl-multiapp",
         ]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
 
     std::fs::create_dir_all(&out_dir).expect("create results dir");
@@ -96,5 +134,32 @@ fn main() {
             started.elapsed().as_secs_f64(),
             path.display()
         );
+    }
+
+    if let Some(recorder) = recorder {
+        if let Some(path) = &metrics_out {
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+            let mut w = BufWriter::new(file);
+            recorder.write_jsonl(&mut w).expect("write metrics JSONL");
+            println!(
+                "[metrics: {} series -> {}]",
+                recorder.series_count(),
+                path.display()
+            );
+        }
+        if let Some(path) = &trace_out {
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+            let mut w = BufWriter::new(file);
+            recorder
+                .write_chrome_trace(&mut w)
+                .expect("write Chrome trace");
+            println!(
+                "[trace: {} spans -> {}]",
+                recorder.spans().len(),
+                path.display()
+            );
+        }
     }
 }

@@ -9,19 +9,28 @@
 //!                      [--sservers N] [--out rst.json] [--region-size B]
 //! harl-cli inspect     <rst.json>
 //! harl-cli simulate    <trace.jsonl> <rst.json> [--hservers M] [--sservers N]
+//!                      [--metrics-out metrics.jsonl] [--trace-out trace.json]
 //! ```
 //!
 //! Sizes accept suffixes `K`, `M`, `G` (binary).
+//!
+//! `--metrics-out` records the simulation (per-server queue-wait and
+//! service-time histograms, per-region routing counters, per-region
+//! predicted-vs-actual cost residuals, request spans) and writes it as
+//! JSONL; `--trace-out` writes the request spans as a Chrome trace-event
+//! file for `chrome://tracing` / Perfetto.
 
 use harl_core::{
     divide_regions, size_histogram, summarize, summarize_records, CostModelParams, HarlPolicy,
     LayoutPolicy, RegionDivisionConfig, RegionStripeTable, Trace,
 };
-use harl_devices::CalibrationConfig;
-use harl_middleware::{run_workload, CollectiveConfig};
+use harl_devices::{CalibrationConfig, OpKind};
+use harl_middleware::{run_workload_recorded, CollectiveConfig};
 use harl_pfs::ClusterConfig;
+use harl_simcore::metrics::{MemoryRecorder, NoopRecorder, Recorder};
 use harl_simcore::ByteSize;
 use harl_workloads::replay;
+use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
@@ -29,7 +38,7 @@ fn usage() -> ! {
         "usage:\n  harl-cli trace-info <trace.jsonl>\n  harl-cli plan <trace.jsonl> \
          --file-size BYTES [--hservers M] [--sservers N] [--out rst.json] [--region-size B]\n  \
          harl-cli inspect <rst.json>\n  harl-cli simulate <trace.jsonl> <rst.json> \
-         [--hservers M] [--sservers N]"
+         [--hservers M] [--sservers N] [--metrics-out metrics.jsonl] [--trace-out trace.json]"
     );
     std::process::exit(2);
 }
@@ -53,6 +62,8 @@ struct Opts {
     sservers: usize,
     out: Option<PathBuf>,
     region_size: Option<u64>,
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -63,6 +74,8 @@ fn parse_opts(args: &[String]) -> Opts {
         sservers: 2,
         out: None,
         region_size: None,
+        metrics_out: None,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -74,12 +87,24 @@ fn parse_opts(args: &[String]) -> Opts {
                 }
             }
             "--hservers" => {
-                opts.hservers = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                opts.hservers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--sservers" => {
-                opts.sservers = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                opts.sservers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--out" => opts.out = it.next().map(PathBuf::from),
+            "--metrics-out" => {
+                opts.metrics_out = Some(it.next().map(PathBuf::from).unwrap_or_else(|| usage()))
+            }
+            "--trace-out" => {
+                opts.trace_out = Some(it.next().map(PathBuf::from).unwrap_or_else(|| usage()))
+            }
             "--region-size" => {
                 opts.region_size = it.next().and_then(|v| parse_size(v));
                 if opts.region_size.is_none() {
@@ -108,7 +133,9 @@ fn load_rst(path: &str) -> RegionStripeTable {
 }
 
 fn cmd_trace_info(opts: &Opts) {
-    let [path] = opts.positional.as_slice() else { usage() };
+    let [path] = opts.positional.as_slice() else {
+        usage()
+    };
     let trace = load_trace(path);
     let summary = summarize(&trace);
     println!("{}", summary.render());
@@ -140,14 +167,13 @@ fn cmd_trace_info(opts: &Opts) {
 }
 
 fn cmd_plan(opts: &Opts) {
-    let [path] = opts.positional.as_slice() else { usage() };
+    let [path] = opts.positional.as_slice() else {
+        usage()
+    };
     let trace = load_trace(path);
-    let file_size = opts
-        .file_size
-        .unwrap_or_else(|| trace.extent().max(1));
+    let file_size = opts.file_size.unwrap_or_else(|| trace.extent().max(1));
     let cluster = ClusterConfig::hybrid(opts.hservers, opts.sservers);
-    let model =
-        CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
+    let model = CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
     let mut policy = HarlPolicy::new(model);
     if let Some(rs) = opts.region_size {
         policy.division.fixed_region_size = rs;
@@ -181,30 +207,118 @@ fn print_rst(rst: &RegionStripeTable) {
 }
 
 fn cmd_inspect(opts: &Opts) {
-    let [path] = opts.positional.as_slice() else { usage() };
+    let [path] = opts.positional.as_slice() else {
+        usage()
+    };
     let rst = load_rst(path);
     print_rst(&rst);
     println!("file size: {}", ByteSize(rst.file_size()));
 }
 
+/// Per-region predicted-vs-actual cost residuals, from the recorded
+/// request spans: each span carries its region file, in-region offset,
+/// size and op, so the Sec. III-D model can be replayed against the
+/// observed end-to-end latency (the model-drift signal of Eqs. 1–8).
+fn record_residuals(recorder: &MemoryRecorder, model: &CostModelParams, rst: &RegionStripeTable) {
+    let label_of = |span: &harl_simcore::SpanRecord, key: &str| {
+        span.labels
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
+    };
+    for span in recorder.spans() {
+        let Ok(region) = label_of(&span, "file").parse::<usize>() else {
+            continue;
+        };
+        let Some(entry) = rst.entries().get(region) else {
+            continue;
+        };
+        let (Ok(offset), Ok(size)) = (
+            label_of(&span, "offset").parse::<u64>(),
+            label_of(&span, "size").parse::<u64>(),
+        ) else {
+            continue;
+        };
+        let op = if label_of(&span, "op") == "write" {
+            OpKind::Write
+        } else {
+            OpKind::Read
+        };
+        let predicted = model.request_cost(offset, size, op, entry.h, entry.s);
+        let actual = span.latency_ns() as f64 / 1e9;
+        let residual = actual - predicted;
+        let labels = [("region", region.to_string())];
+        recorder.observe_f64("harl.model.residual_s", &labels, residual);
+        recorder.observe(
+            "harl.model.residual_abs_ns",
+            &labels,
+            (residual.abs() * 1e9) as u64,
+        );
+    }
+}
+
 fn cmd_simulate(opts: &Opts) {
-    let [trace_path, rst_path] = opts.positional.as_slice() else { usage() };
+    let [trace_path, rst_path] = opts.positional.as_slice() else {
+        usage()
+    };
     let trace = load_trace(trace_path);
     let rst = load_rst(rst_path);
     let cluster = ClusterConfig::hybrid(opts.hservers, opts.sservers);
     let workload = replay(&trace);
-    let report = run_workload(&cluster, &rst, &workload, &CollectiveConfig::default());
+    let recording = opts.metrics_out.is_some() || opts.trace_out.is_some();
+    let memory = MemoryRecorder::new();
+    let recorder: &dyn Recorder = if recording { &memory } else { &NoopRecorder };
+    let report = run_workload_recorded(
+        &cluster,
+        &rst,
+        &workload,
+        &CollectiveConfig::default(),
+        recorder,
+    );
+    if recording {
+        let model =
+            CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
+        record_residuals(&memory, &model, &rst);
+    }
+    if let Some(path) = &opts.metrics_out {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        memory
+            .write_jsonl(&mut BufWriter::new(file))
+            .expect("write metrics JSONL");
+        println!(
+            "wrote {} metric series to {}",
+            memory.series_count(),
+            path.display()
+        );
+    }
+    if let Some(path) = &opts.trace_out {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        memory
+            .write_chrome_trace(&mut BufWriter::new(file))
+            .expect("write Chrome trace");
+        println!("wrote {} spans to {}", memory.spans().len(), path.display());
+    }
     println!(
         "replayed {} requests: {:.1} MiB/s over {}",
         report.requests_completed,
         report.throughput_mib_s(),
         report.makespan
     );
-    println!("per-server busy (normalised): {:?}", report
-        .normalized_server_times()
-        .iter()
-        .map(|x| (x * 100.0).round() / 100.0)
-        .collect::<Vec<_>>());
+    println!(
+        "per-server busy (normalised): {:?}",
+        report
+            .normalized_server_times()
+            .iter()
+            .map(|x| (x * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
     let summary = summarize_records(trace.records());
     println!("trace pattern: {}", summary.pattern_label());
 
@@ -224,7 +338,9 @@ fn cmd_simulate(opts: &Opts) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = args.split_first() else { usage() };
+    let Some((cmd, rest)) = args.split_first() else {
+        usage()
+    };
     let opts = parse_opts(rest);
     match cmd.as_str() {
         "trace-info" => cmd_trace_info(&opts),

@@ -5,8 +5,7 @@
 //! benches) decide what to do with them.
 
 use crate::harness::{
-    best, harl_policy, improvement_pct, measure, paper_policies, render_table, PolicyOutcome,
-    Scale,
+    best, harl_policy, improvement_pct, measure, paper_policies, render_table, PolicyOutcome, Scale,
 };
 use harl_core::FixedPolicy;
 use harl_devices::OpKind;
@@ -68,7 +67,8 @@ pub fn fig1b(scale: &Scale) -> FigureResult {
     let request_sizes = [128u64, 512, 1024, 2048];
     let stripes = [16u64, 64, 256, 1024, 2048];
     let mut rows = Vec::new();
-    let mut text = String::from("\n== Fig 1(b): read throughput (MiB/s), request size x stripe ==\n");
+    let mut text =
+        String::from("\n== Fig 1(b): read throughput (MiB/s), request size x stripe ==\n");
     text.push_str(&format!("{:<10}", "req\\stripe"));
     for s in stripes {
         text.push_str(&format!("{:>9}K", s));
@@ -127,7 +127,11 @@ pub fn fig7(scale: &Scale) -> FigureResult {
         text.push_str(&format!(
             "HARL vs default 64K: {:+.1}%  (paper: {} {})\n",
             improvement_pct(harl.throughput_mib_s, default.throughput_mib_s),
-            if op == OpKind::Read { "+73.4%" } else { "+176.7%" },
+            if op == OpKind::Read {
+                "+73.4%"
+            } else {
+                "+176.7%"
+            },
             "on their testbed",
         ));
         json_parts.insert(op.to_string(), outcomes_json(&outcomes));

@@ -5,9 +5,32 @@ use harl_core::{
     RegionStripeTable,
 };
 use harl_devices::CalibrationConfig;
-use harl_middleware::{trace_plan_run, CollectiveConfig, Workload};
+use harl_middleware::{trace_plan_run_recorded, CollectiveConfig, Workload};
 use harl_pfs::{ClusterConfig, SimReport};
+use harl_simcore::metrics::{MemoryRecorder, NoopRecorder, Recorder};
 use serde::Serialize;
+use std::sync::{Arc, OnceLock};
+
+static GLOBAL_RECORDER: OnceLock<Arc<MemoryRecorder>> = OnceLock::new();
+
+/// Install a process-wide in-memory recorder; every subsequent
+/// [`measure`] call streams its metrics and request spans into it.
+/// Idempotent: repeated calls return the same recorder.
+pub fn install_recorder() -> Arc<MemoryRecorder> {
+    GLOBAL_RECORDER
+        .get_or_init(|| Arc::new(MemoryRecorder::new()))
+        .clone()
+}
+
+/// The recorder [`measure`] reports to: the installed one, or a no-op
+/// when [`install_recorder`] was never called (the default, costing one
+/// `is_enabled()` virtual call per instrumentation site).
+pub fn recorder() -> &'static dyn Recorder {
+    match GLOBAL_RECORDER.get() {
+        Some(r) => r.as_ref() as &'static dyn Recorder,
+        None => &NoopRecorder,
+    }
+}
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,7 +109,13 @@ pub fn measure(
     policy: &dyn LayoutPolicy,
     workload: &Workload,
 ) -> (PolicyOutcome, RegionStripeTable, SimReport) {
-    let (rst, report) = trace_plan_run(cluster, policy, workload, &CollectiveConfig::default());
+    let (rst, report) = trace_plan_run_recorded(
+        cluster,
+        policy,
+        workload,
+        &CollectiveConfig::default(),
+        recorder(),
+    );
     let first = rst.entries()[0];
     let outcome = PolicyOutcome {
         label: policy.label(),

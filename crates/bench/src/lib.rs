@@ -15,10 +15,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;
-pub mod support;
 pub mod figures;
 pub mod harness;
+pub mod support;
 
 pub use ablations::*;
 pub use figures::*;
-pub use harness::{PolicyOutcome, Scale};
+pub use harness::{install_recorder, recorder, PolicyOutcome, Scale};

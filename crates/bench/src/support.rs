@@ -30,8 +30,7 @@ pub fn bench_ior(op: OpKind, processes: usize, request_size: u64) -> Workload {
 
 /// A calibrated HARL policy with a small optimizer sample.
 pub fn bench_harl(cluster: &ClusterConfig) -> HarlPolicy {
-    let model =
-        CostModelParams::from_cluster_calibrated(cluster, &CalibrationConfig::default());
+    let model = CostModelParams::from_cluster_calibrated(cluster, &CalibrationConfig::default());
     let mut policy = HarlPolicy::new(model);
     policy.optimizer = OptimizerConfig {
         max_requests_per_eval: 256,

@@ -61,10 +61,17 @@ fn least_squares(xs: &[f64], ys: &[f64]) -> (f64, f64) {
 /// Estimate one operation's `(α_min, α_max, β)` from probe observations.
 fn estimate_op(device: &StorageProfile, op: OpKind, cfg: &CalibrationConfig) -> OpParams {
     assert!(
-        cfg.probe_sizes.iter().collect::<std::collections::HashSet<_>>().len() >= 2,
+        cfg.probe_sizes
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            >= 2,
         "calibration needs at least two distinct probe sizes"
     );
-    assert!(cfg.repetitions > 0, "calibration needs at least one repetition");
+    assert!(
+        cfg.repetitions > 0,
+        "calibration needs at least one repetition"
+    );
 
     let mut rng = SimRng::derived(cfg.seed, &format!("calibrate-{}-{op}", device.name));
     let mut xs = Vec::with_capacity(cfg.probe_sizes.len() * cfg.repetitions);

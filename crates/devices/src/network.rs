@@ -91,9 +91,15 @@ mod tests {
     fn gige_bandwidth_reasonable() {
         // Per-hop charge: twice the wire rate so two hops sum to GbE.
         let hop = NetworkProfile::gigabit_ethernet().bandwidth_mib_s();
-        assert!((230.0..250.0).contains(&hop), "per-hop bandwidth {hop} MiB/s");
+        assert!(
+            (230.0..250.0).contains(&hop),
+            "per-hop bandwidth {hop} MiB/s"
+        );
         let wire = NetworkProfile::gigabit_ethernet_single_hop().bandwidth_mib_s();
-        assert!((115.0..125.0).contains(&wire), "GbE wire bandwidth {wire} MiB/s");
+        assert!(
+            (115.0..125.0).contains(&wire),
+            "GbE wire bandwidth {wire} MiB/s"
+        );
     }
 
     #[test]

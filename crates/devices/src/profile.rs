@@ -288,7 +288,9 @@ mod tests {
         let bytes = 128 * 1024;
         let transfer = bytes as f64 * hdd.read.beta_s_per_byte;
         for _ in 0..500 {
-            let t = hdd.service_time(OpKind::Read, bytes, &mut rng).as_secs_f64();
+            let t = hdd
+                .service_time(OpKind::Read, bytes, &mut rng)
+                .as_secs_f64();
             assert!(t >= hdd.read.alpha_min_s + transfer - 1e-9);
             assert!(t <= hdd.read.alpha_max_s + transfer + 1e-9);
         }
@@ -301,7 +303,10 @@ mod tests {
         let bytes = 64 * 1024;
         let n = 20_000;
         let sum: f64 = (0..n)
-            .map(|_| ssd.service_time(OpKind::Write, bytes, &mut rng).as_secs_f64())
+            .map(|_| {
+                ssd.service_time(OpKind::Write, bytes, &mut rng)
+                    .as_secs_f64()
+            })
             .sum();
         let mean = sum / n as f64;
         let expected = ssd.write.expected_service_s(bytes);

@@ -189,7 +189,9 @@ mod tests {
 
     #[test]
     fn sequential_stream_detected() {
-        let recs: Vec<_> = (0..32).map(|i| rec(0, i * 4096, 4096, OpKind::Read)).collect();
+        let recs: Vec<_> = (0..32)
+            .map(|i| rec(0, i * 4096, 4096, OpKind::Read))
+            .collect();
         let s = summarize_records(&recs);
         assert_eq!(s.sequentiality, 1.0);
         assert_eq!(s.pattern_label(), "sequential/uniform");
@@ -271,7 +273,9 @@ mod tests {
 
     #[test]
     fn render_is_informative() {
-        let recs: Vec<_> = (0..4).map(|i| rec(0, i * 4096, 4096, OpKind::Read)).collect();
+        let recs: Vec<_> = (0..4)
+            .map(|i| rec(0, i * 4096, 4096, OpKind::Read))
+            .collect();
         let line = summarize_records(&recs).render();
         assert!(line.contains("4 requests"));
         assert!(line.contains("100% reads"));

@@ -33,15 +33,17 @@ pub mod region;
 pub mod rst;
 pub mod trace;
 
+pub use analysis::{size_histogram, summarize, summarize_records, TraceSummary};
+pub use migration::{projected_sserver_bytes, BalanceOutcome, SpaceBalancer};
 pub use model::{case_a_params, server_loads, CostModelParams, ServerLoads};
-pub use optimizer::{optimize_region, OptimizerConfig, RegionRequests, StripeChoice};
+pub use multiprofile::{ClassParams, MultiProfileModel, MultiProfileOptimizer};
+pub use online::{AdaptationEvent, OnlineConfig, OnlineMonitor};
+pub use optimizer::{
+    optimize_region, optimize_region_recorded, OptimizerConfig, RegionRequests, StripeChoice,
+};
 pub use policy::{
     FixedPolicy, HarlPolicy, LayoutPolicy, RandomPolicy, SegmentPolicy, ServerLevelPolicy,
 };
 pub use region::{divide_regions, Region, RegionDivisionConfig};
-pub use analysis::{size_histogram, summarize, summarize_records, TraceSummary};
-pub use migration::{projected_sserver_bytes, BalanceOutcome, SpaceBalancer};
-pub use multiprofile::{ClassParams, MultiProfileModel, MultiProfileOptimizer};
-pub use online::{AdaptationEvent, OnlineConfig, OnlineMonitor};
 pub use rst::{RegionStripeTable, RstEntry};
 pub use trace::{Trace, TraceRecord};

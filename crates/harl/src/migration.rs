@@ -85,12 +85,7 @@ impl SpaceBalancer {
             if sserver_fraction(self.model.m, self.model.n, h, s) > max_frac + 1e-12 {
                 return;
             }
-            let cost = requests.cost_of(
-                &self.model,
-                h,
-                s,
-                self.optimizer.max_requests_per_eval,
-            );
+            let cost = requests.cost_of(&self.model, h, s, self.optimizer.max_requests_per_eval);
             let cand = StripeChoice { h, s, cost };
             best = Some(match best.take() {
                 None => cand,

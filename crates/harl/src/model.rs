@@ -96,7 +96,13 @@ impl CostModelParams {
         let h = harl_devices::calibrate_storage(&cluster.classes[0].profile, cfg);
         let s = harl_devices::calibrate_storage(&cluster.classes[1].profile, cfg);
         let net = harl_devices::calibrate_network(&cluster.network, cfg);
-        CostModelParams::new(cluster.classes[0].count, cluster.classes[1].count, &net, &h, &s)
+        CostModelParams::new(
+            cluster.classes[0].count,
+            cluster.classes[1].count,
+            &net,
+            &h,
+            &s,
+        )
     }
 
     #[inline]
@@ -180,7 +186,14 @@ fn bytes_below(x: u64, group: u64, base: u64, w: u64) -> u64 {
 /// # Panics
 /// Panics if both classes have zero capacity (`M·h + N·s == 0`) for a
 /// non-empty request.
-pub fn server_loads(offset: u64, size: u64, m_servers: usize, h: u64, n_servers: usize, s: u64) -> ServerLoads {
+pub fn server_loads(
+    offset: u64,
+    size: u64,
+    m_servers: usize,
+    h: u64,
+    n_servers: usize,
+    s: u64,
+) -> ServerLoads {
     if size == 0 {
         return ServerLoads {
             s_m: 0,
@@ -400,10 +413,7 @@ mod tests {
         let p = paper_params();
         let fixed = p.request_cost(0, 512 * KB, OpKind::Read, 64 * KB, 64 * KB);
         let varied = p.request_cost(0, 512 * KB, OpKind::Read, 32 * KB, 160 * KB);
-        assert!(
-            varied < fixed,
-            "varied {varied} should beat fixed {fixed}"
-        );
+        assert!(varied < fixed, "varied {varied} should beat fixed {fixed}");
     }
 
     #[test]

@@ -55,10 +55,7 @@ impl MultiProfileModel {
     }
 
     /// Build from explicit profiles.
-    pub fn new(
-        network: &NetworkProfile,
-        classes: Vec<(usize, StorageProfile)>,
-    ) -> Self {
+    pub fn new(network: &NetworkProfile, classes: Vec<(usize, StorageProfile)>) -> Self {
         MultiProfileModel {
             classes: classes
                 .into_iter()
@@ -223,10 +220,7 @@ impl MultiProfileOptimizer {
             w
         };
         let balanced = zero_out(vec![r_bar.div_ceil(k as u64 * step) * step; k]);
-        assert!(
-            balanced.iter().any(|&w| w > 0),
-            "no servers in any class"
-        );
+        assert!(balanced.iter().any(|&w| w > 0), "no servers in any class");
         if sample.is_empty() {
             return (balanced, 0.0);
         }

@@ -18,8 +18,10 @@ use crate::model::CostModelParams;
 use crate::optimizer::{OptimizerConfig, RegionRequests};
 use crate::rst::RegionStripeTable;
 use crate::trace::TraceRecord;
+use harl_simcore::metrics::{NoopRecorder, Recorder};
 use harl_simcore::OnlineStats;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Monitor tuning.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -31,6 +33,11 @@ pub struct OnlineConfig {
     pub drift_ratio: f64,
     /// Consecutive drifted windows required before re-planning.
     pub patience: usize,
+    /// Model-drift threshold on the cost residual: a window counts as
+    /// drifted when the mean |actual − predicted| latency (fed through
+    /// [`OnlineMonitor::observe_served`]) exceeds this multiple of the mean
+    /// predicted cost. Only applies when served latencies are reported.
+    pub residual_ratio: f64,
     /// Optimizer settings for re-planning.
     pub optimizer: OptimizerConfig,
 }
@@ -41,6 +48,7 @@ impl Default for OnlineConfig {
             window: 256,
             drift_ratio: 2.0,
             patience: 2,
+            residual_ratio: 1.0,
             optimizer: OptimizerConfig {
                 threads: 1,
                 max_requests_per_eval: 512,
@@ -88,12 +96,26 @@ struct RegionState {
     drifted_windows: usize,
     window_stats: OnlineStats,
     window_requests: Vec<TraceRecord>,
+    /// Signed cost residuals (actual − predicted, seconds) this window.
+    residual: OnlineStats,
+    /// Model-predicted request costs (seconds) this window.
+    predicted: OnlineStats,
+}
+
+impl RegionState {
+    fn reset_window(&mut self) {
+        self.window_stats = OnlineStats::new();
+        self.window_requests.clear();
+        self.residual = OnlineStats::new();
+        self.predicted = OnlineStats::new();
+    }
 }
 
 /// The on-line monitor. Feed it the live stream via
-/// [`observe`](Self::observe); it returns adaptation events as drift is
-/// confirmed.
-#[derive(Debug)]
+/// [`observe`](Self::observe) (sizes only) or
+/// [`observe_served`](Self::observe_served) (sizes plus served latency,
+/// enabling model-drift detection); it returns adaptation events as drift
+/// is confirmed.
 pub struct OnlineMonitor {
     model: CostModelParams,
     rst: RegionStripeTable,
@@ -102,6 +124,20 @@ pub struct OnlineMonitor {
     cfg: OnlineConfig,
     regions: Vec<RegionState>,
     seen_in_window: usize,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl std::fmt::Debug for OnlineMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineMonitor")
+            .field("model", &self.model)
+            .field("rst", &self.rst)
+            .field("planned_avg", &self.planned_avg)
+            .field("cfg", &self.cfg)
+            .field("regions", &self.regions)
+            .field("seen_in_window", &self.seen_in_window)
+            .finish_non_exhaustive()
+    }
 }
 
 impl OnlineMonitor {
@@ -131,7 +167,15 @@ impl OnlineMonitor {
             cfg,
             regions,
             seen_in_window: 0,
+            recorder: Arc::new(NoopRecorder),
         }
+    }
+
+    /// Attach a metrics recorder. Residuals, drift histograms and
+    /// adaptation counters are emitted through it; the default is a no-op.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The table the monitor currently considers active (updated as
@@ -152,6 +196,45 @@ impl OnlineMonitor {
             return Vec::new();
         }
         self.close_window()
+    }
+
+    /// Observe one live request together with its served latency (seconds).
+    ///
+    /// On top of [`observe`](Self::observe)'s size-drift tracking, this
+    /// compares the served latency against the Sec. III-D cost model's
+    /// prediction for the region's current `(h, s)` pair. The signed
+    /// residual `actual − predicted` feeds a per-region drift statistic: a
+    /// window whose mean residual magnitude exceeds
+    /// `residual_ratio × mean predicted cost` counts as drifted even when
+    /// request sizes still match the plan — catching model staleness
+    /// (device slowdown, contention) that size statistics cannot see.
+    pub fn observe_served(&mut self, rec: TraceRecord, actual_s: f64) -> Vec<AdaptationEvent> {
+        let region = self.rst.region_of(rec.offset);
+        let entry = self.rst.entries()[region];
+        let predicted = self.model.request_cost(
+            rec.offset.saturating_sub(entry.offset),
+            rec.size,
+            rec.op,
+            entry.h,
+            entry.s,
+        );
+        let residual = actual_s - predicted;
+        {
+            let state = &mut self.regions[region];
+            state.residual.push(residual);
+            state.predicted.push(predicted);
+        }
+        if self.recorder.is_enabled() {
+            let labels = [("region", region.to_string())];
+            self.recorder
+                .observe_f64("harl.model.residual_s", &labels, residual);
+            self.recorder.observe(
+                "harl.model.residual_abs_ns",
+                &labels,
+                (residual.abs() * 1e9) as u64,
+            );
+        }
+        self.observe(rec)
     }
 
     /// Close the current window: evaluate drift per region and re-plan the
@@ -175,12 +258,16 @@ impl OnlineMonitor {
             };
             let planned = self.planned_avg[region].max(1);
             let ratio = observed_avg as f64 / planned as f64;
-            let drifted = ratio > self.cfg.drift_ratio || ratio < 1.0 / self.cfg.drift_ratio;
+            let size_drift = ratio > self.cfg.drift_ratio || ratio < 1.0 / self.cfg.drift_ratio;
             let state = &mut self.regions[region];
-            if !drifted {
+            // Model drift: served latencies systematically off-prediction
+            // (requires enough observe_served samples to trust the mean).
+            let residual_drift = state.residual.count() >= 8
+                && state.predicted.mean() > 0.0
+                && state.residual.mean().abs() > self.cfg.residual_ratio * state.predicted.mean();
+            if !(size_drift || residual_drift) {
                 state.drifted_windows = 0;
-                state.window_stats = OnlineStats::new();
-                state.window_requests.clear();
+                state.reset_window();
                 continue;
             }
             state.drifted_windows += 1;
@@ -191,7 +278,7 @@ impl OnlineMonitor {
             // Confirmed drift: re-plan this region on the observed stream.
             let entry = self.rst.entries()[region];
             let requests = std::mem::take(&mut state.window_requests);
-            state.window_stats = OnlineStats::new();
+            state.reset_window();
             state.drifted_windows = 0;
 
             let mut sorted = requests;
@@ -237,6 +324,13 @@ impl OnlineMonitor {
             entries[region].s = choice.s;
             self.rst = RegionStripeTable::new(entries);
             self.planned_avg[region] = observed_avg;
+            if self.recorder.is_enabled() {
+                self.recorder.counter_add(
+                    "harl.online.adaptations",
+                    &[("region", region.to_string())],
+                    1,
+                );
+            }
             events.push(event);
         }
         events
@@ -387,10 +481,78 @@ mod tests {
             events.extend(m.observe(rec((512 << 20) + (i * 128 * KB) % (256 << 20), 128 * KB)));
         }
         assert!(!events.is_empty());
-        assert!(events.iter().all(|e| e.region == 1), "only region 1 drifted");
+        assert!(
+            events.iter().all(|e| e.region == 1),
+            "only region 1 drifted"
+        );
         let entries = m.current_rst().entries();
         assert_eq!((entries[0].h, entries[0].s), (32 * KB, 160 * KB));
         assert_eq!((entries[1].h, entries[1].s), (0, 64 * KB));
+    }
+
+    #[test]
+    fn residual_drift_triggers_replan_without_size_drift() {
+        use harl_simcore::MemoryRecorder;
+        // Planned avg matches the live stream (no size drift), but the
+        // initial layout is suboptimal for it and the served latencies are
+        // far above prediction — only the residual path can catch this.
+        let rst = RegionStripeTable::single(1 << 30, 32 * KB, 160 * KB);
+        let recorder = Arc::new(MemoryRecorder::new());
+        let mut m = OnlineMonitor::new(
+            model(),
+            rst,
+            vec![128 * KB],
+            OnlineConfig {
+                window: 32,
+                patience: 2,
+                ..OnlineConfig::default()
+            },
+        )
+        .with_recorder(recorder.clone());
+        let mut events = Vec::new();
+        for i in 0..128u64 {
+            events.extend(m.observe_served(rec((i * 128 * KB) % (1 << 30), 128 * KB), 0.5));
+        }
+        assert!(!events.is_empty(), "model drift should force a re-plan");
+        assert_eq!(events[0].old, (32 * KB, 160 * KB));
+        assert_eq!(events[0].new, (0, 64 * KB));
+        let labels = [("region", "0".to_string())];
+        assert!(recorder.counter_value("harl.online.adaptations", &labels) >= 1);
+        let summary = recorder
+            .summary_snapshot("harl.model.residual_s", &labels)
+            .expect("residual summary recorded");
+        assert!(summary.count() >= 32);
+        assert!(summary.mean() > 0.0, "served slower than predicted");
+        let hist = recorder
+            .histogram_snapshot("harl.model.residual_abs_ns", &labels)
+            .expect("residual histogram recorded");
+        assert_eq!(hist.count(), summary.count());
+    }
+
+    #[test]
+    fn accurate_model_never_flags_residual_drift() {
+        // Same suboptimal-layout setup, but served latency equals the
+        // prediction exactly: without model error there is no drift signal,
+        // so the monitor must stay quiet.
+        let reference = model();
+        let rst = RegionStripeTable::single(1 << 30, 32 * KB, 160 * KB);
+        let mut m = OnlineMonitor::new(
+            model(),
+            rst,
+            vec![128 * KB],
+            OnlineConfig {
+                window: 32,
+                patience: 2,
+                ..OnlineConfig::default()
+            },
+        );
+        for i in 0..256u64 {
+            let offset = (i * 128 * KB) % (1 << 30);
+            let predicted =
+                reference.request_cost(offset, 128 * KB, OpKind::Read, 32 * KB, 160 * KB);
+            let events = m.observe_served(rec(offset, 128 * KB), predicted);
+            assert!(events.is_empty(), "accurate predictions must not drift");
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use crate::model::CostModelParams;
 use crate::trace::TraceRecord;
+use harl_simcore::metrics::Recorder;
 use serde::{Deserialize, Serialize};
 
 /// Optimizer tuning.
@@ -107,13 +108,7 @@ impl<'a> RegionRequests<'a> {
         self.records
             .iter()
             .step_by(stride)
-            .map(|r| {
-                (
-                    r.offset.saturating_sub(self.region_offset),
-                    r.size,
-                    r.op,
-                )
-            })
+            .map(|r| (r.offset.saturating_sub(self.region_offset), r.size, r.op))
             .collect()
     }
 }
@@ -200,15 +195,14 @@ pub fn optimize_region(
     } else {
         let chunk = cands.len().div_ceil(threads);
         let mut results: Vec<Option<StripeChoice>> = vec![None; threads];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (slot, part) in results.iter_mut().zip(cands.chunks(chunk)) {
                 let sample = &sample;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     *slot = Some(best_of(model, sample, part));
                 });
             }
-        })
-        .expect("optimizer worker panicked");
+        });
         results
             .into_iter()
             .flatten()
@@ -216,6 +210,44 @@ pub fn optimize_region(
             .expect("at least one chunk")
     };
     best
+}
+
+/// [`optimize_region`] with observability: records the grid size searched,
+/// the winning pair, and its predicted cost for `region` into `recorder`.
+///
+/// The per-request predicted cost
+/// (`harl.model.predicted_request_cost_s`) is the "predicted" side of the
+/// model-drift residual tracked by [`crate::online::OnlineMonitor`].
+pub fn optimize_region_recorded(
+    model: &CostModelParams,
+    requests: &RegionRequests<'_>,
+    avg_request_size: u64,
+    cfg: &OptimizerConfig,
+    region: usize,
+    recorder: &dyn Recorder,
+) -> StripeChoice {
+    let choice = optimize_region(model, requests, avg_request_size, cfg);
+    if recorder.is_enabled() {
+        let labels = [("region", region.to_string())];
+        let step = cfg.effective_step(avg_request_size.max(1));
+        recorder.counter_add(
+            "harl.optimizer.candidates",
+            &labels,
+            candidates(avg_request_size, step, model.m, model.n).len() as u64,
+        );
+        recorder.gauge_set("harl.optimizer.stripe_h", &labels, choice.h as f64);
+        recorder.gauge_set("harl.optimizer.stripe_s", &labels, choice.s as f64);
+        recorder.observe_f64("harl.optimizer.predicted_cost_s", &labels, choice.cost);
+        let sampled = requests.sample(cfg.max_requests_per_eval).len();
+        if sampled > 0 {
+            recorder.observe_f64(
+                "harl.model.predicted_request_cost_s",
+                &labels,
+                choice.cost / sampled as f64,
+            );
+        }
+    }
+    choice
 }
 
 fn best_of(
@@ -230,10 +262,7 @@ fn best_of(
     };
     for &(h, s) in cands {
         let cost = region_cost(model, sample, h, s);
-        best = pick_better(
-            best,
-            StripeChoice { h, s, cost },
-        );
+        best = pick_better(best, StripeChoice { h, s, cost });
     }
     best
 }
@@ -347,7 +376,15 @@ mod tests {
         let trace = recs(100, 512 * KB, OpKind::Read);
         let reqs = RegionRequests::new(&trace, 0);
         let base = OptimizerConfig::default();
-        let c1 = optimize_region(&m, &reqs, 512 * KB, &OptimizerConfig { threads: 1, ..base.clone() });
+        let c1 = optimize_region(
+            &m,
+            &reqs,
+            512 * KB,
+            &OptimizerConfig {
+                threads: 1,
+                ..base.clone()
+            },
+        );
         let c8 = optimize_region(&m, &reqs, 512 * KB, &OptimizerConfig { threads: 8, ..base });
         assert_eq!(c1.h, c8.h);
         assert_eq!(c1.s, c8.s);

@@ -256,12 +256,8 @@ impl LayoutPolicy for HarlPolicy {
         for region in &regions {
             let records = &sorted[region.first_request..region.last_request];
             let reqs = RegionRequests::new(records, region.offset);
-            let choice = optimize_region(
-                &self.model,
-                &reqs,
-                region.avg_request_size,
-                &self.optimizer,
-            );
+            let choice =
+                optimize_region(&self.model, &reqs, region.avg_request_size, &self.optimizer);
             entries.push(RstEntry {
                 offset: region.offset,
                 len: region.len(),

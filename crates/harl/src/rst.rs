@@ -107,17 +107,15 @@ impl RegionStripeTable {
     /// Offsets past the end fall into the last region (files can grow; the
     /// tail region's layout extends).
     pub fn region_of(&self, offset: u64) -> usize {
-        match self
-            .entries
-            .binary_search_by(|e| {
-                if offset < e.offset {
-                    std::cmp::Ordering::Greater
-                } else if offset >= e.end() {
-                    std::cmp::Ordering::Less
-                } else {
-                    std::cmp::Ordering::Equal
-                }
-            }) {
+        match self.entries.binary_search_by(|e| {
+            if offset < e.offset {
+                std::cmp::Ordering::Greater
+            } else if offset >= e.end() {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
             Ok(i) => i,
             Err(_) => self.entries.len() - 1,
         }
@@ -241,10 +239,7 @@ mod tests {
         let t = table();
         let boundary = 128u64 << 20;
         let pieces = t.split_request(boundary - 50, 100);
-        assert_eq!(
-            pieces,
-            vec![(0, boundary - 50, 50), (1, 0, 50)]
-        );
+        assert_eq!(pieces, vec![(0, boundary - 50, 50), (1, 0, 50)]);
         let total: u64 = pieces.iter().map(|&(_, _, l)| l).sum();
         assert_eq!(total, 100);
     }

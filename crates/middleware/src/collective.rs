@@ -161,12 +161,7 @@ mod tests {
         (0..ranks)
             .map(|r| {
                 (0..blocks_per_rank)
-                    .map(|b| {
-                        LogicalRequest::write(
-                            (b * ranks + r) as u64 * block,
-                            block,
-                        )
-                    })
+                    .map(|b| LogicalRequest::write((b * ranks + r) as u64 * block, block))
                     .collect()
             })
             .collect()
@@ -183,12 +178,7 @@ mod tests {
         // 4 ranks × 64 blocks of 64 KiB interleaved: fully covering 16 MiB.
         let contributions = strided(4, 64 * KB, 64);
         let plan = plan_collective(&contributions, &[0, 1], &CollectiveConfig::default()).unwrap();
-        let total: u64 = plan
-            .aggregated
-            .iter()
-            .flatten()
-            .map(|r| r.size)
-            .sum();
+        let total: u64 = plan.aggregated.iter().flatten().map(|r| r.size).sum();
         assert_eq!(total, 16 * MB, "aggregation conserves bytes");
         // Each aggregator issues 8 MiB as two 4 MiB chunks.
         assert_eq!(plan.aggregated[0].len(), 2);

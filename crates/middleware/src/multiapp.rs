@@ -54,10 +54,11 @@ pub fn run_shared(
 ) -> MultiAppReport {
     assert!(!apps.is_empty(), "no applications to run");
     for (i, (_, w)) in apps.iter().enumerate() {
-        let has_collectives = w
-            .ranks
-            .iter()
-            .any(|r| r.steps.iter().any(|s| matches!(s, LogicalStep::Collective(_))));
+        let has_collectives = w.ranks.iter().any(|r| {
+            r.steps
+                .iter()
+                .any(|s| matches!(s, LogicalStep::Collective(_)))
+        });
         assert!(
             !has_collectives,
             "shared runs support independent I/O only (app {i} uses collectives)"
@@ -168,7 +169,11 @@ mod tests {
         let a = ior_like(2, 256 * KB, 8 * MB, OpKind::Write);
         let b = ior_like(2, 256 * KB, 8 * MB, OpKind::Write);
         let rst = RegionStripeTable::single(8 * MB, 16 * KB, 64 * KB);
-        let report = run_shared(&cluster, &[(&rst, &a), (&rst, &b)], &CollectiveConfig::default());
+        let report = run_shared(
+            &cluster,
+            &[(&rst, &a), (&rst, &b)],
+            &CollectiveConfig::default(),
+        );
         let device_bytes: u64 = report.combined.servers.iter().map(|s| s.bytes).sum();
         assert_eq!(device_bytes, 16 * MB);
     }

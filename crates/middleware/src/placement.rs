@@ -77,7 +77,11 @@ pub struct PlacedFile {
 ///
 /// `first_file_id` allows placing several logical files in one simulation
 /// (physical ids are global).
-pub fn place(cluster: &ClusterConfig, rst: &RegionStripeTable, first_file_id: FileId) -> PlacedFile {
+pub fn place(
+    cluster: &ClusterConfig,
+    rst: &RegionStripeTable,
+    first_file_id: FileId,
+) -> PlacedFile {
     let mut files = Vec::with_capacity(rst.len());
     let mut mapping = Vec::with_capacity(rst.len());
     for (i, entry) in rst.entries().iter().enumerate() {

@@ -15,7 +15,8 @@ use crate::collective::{plan_collective, CollectiveConfig};
 use crate::logical::{LogicalRequest, LogicalStep, Workload};
 use crate::placement::{place, PlacedFile};
 use harl_core::{LayoutPolicy, RegionStripeTable, Trace, TraceRecord};
-use harl_pfs::{simulate, ClientProgram, ClusterConfig, PhysRequest, SimReport};
+use harl_pfs::{simulate_recorded, ClientProgram, ClusterConfig, PhysRequest, SimReport};
+use harl_simcore::metrics::{NoopRecorder, Recorder};
 use harl_simcore::SimNanos;
 
 /// Tracing Phase: record the logical requests a workload will issue.
@@ -88,10 +89,7 @@ pub fn collect_trace_lowered(
         }
     }
     // Collective calls are recorded post-aggregation.
-    let max_collectives = workload
-        .ranks
-        .first()
-        .map_or(0, |r| r.collective_calls());
+    let max_collectives = workload.ranks.first().map_or(0, |r| r.collective_calls());
     for k in 0..max_collectives {
         let contributions: Vec<Vec<LogicalRequest>> = workload
             .ranks
@@ -118,12 +116,26 @@ pub fn collect_trace_lowered(
     trace
 }
 
-/// Translate one logical request into physical per-region requests.
-fn translate_request(placed: &PlacedFile, req: LogicalRequest) -> Vec<PhysRequest> {
+/// Translate one logical request into physical per-region requests, with
+/// routing observability when a recorder is enabled: counts every routing
+/// decision per region (`mw.region.requests`, `mw.region.bytes`) and the
+/// fan-out of each logical request (`mw.request.fanout` — how many region
+/// pieces one call split into).
+fn translate_request_recorded(
+    placed: &PlacedFile,
+    req: LogicalRequest,
+    recorder: &dyn Recorder,
+) -> Vec<PhysRequest> {
+    let rec_on = recorder.is_enabled();
     if req.size == 0 {
         // Zero-byte requests still hit the MDS; route to the owning region.
         let region = placed.rst.region_of(req.offset);
         let entry = &placed.rst.entries()[region];
+        if rec_on {
+            let labels = [("region", region.to_string()), ("op", req.op.to_string())];
+            recorder.counter_add("mw.region.requests", &labels, 1);
+            recorder.observe("mw.request.fanout", &[("op", req.op.to_string())], 1);
+        }
         return vec![PhysRequest {
             file: placed.r2f.file_of(region),
             op: req.op,
@@ -131,9 +143,20 @@ fn translate_request(placed: &PlacedFile, req: LogicalRequest) -> Vec<PhysReques
             size: 0,
         }];
     }
-    placed
-        .rst
-        .split_request(req.offset, req.size)
+    let pieces = placed.rst.split_request(req.offset, req.size);
+    if rec_on {
+        recorder.observe(
+            "mw.request.fanout",
+            &[("op", req.op.to_string())],
+            pieces.len() as u64,
+        );
+        for (region, _, len) in &pieces {
+            let labels = [("region", region.to_string()), ("op", req.op.to_string())];
+            recorder.counter_add("mw.region.requests", &labels, 1);
+            recorder.counter_add("mw.region.bytes", &labels, *len);
+        }
+    }
+    pieces
         .into_iter()
         .map(|(region, rel_offset, len)| PhysRequest {
             file: placed.r2f.file_of(region),
@@ -161,6 +184,18 @@ pub fn translate_workload(
     workload: &Workload,
     ccfg: &CollectiveConfig,
 ) -> Vec<ClientProgram> {
+    translate_workload_recorded(cluster, placed, workload, ccfg, &NoopRecorder)
+}
+
+/// [`translate_workload`] with per-region routing observability (see
+/// [`translate_request_recorded`]).
+pub fn translate_workload_recorded(
+    cluster: &ClusterConfig,
+    placed: &PlacedFile,
+    workload: &Workload,
+    ccfg: &CollectiveConfig,
+    recorder: &dyn Recorder,
+) -> Vec<ClientProgram> {
     workload
         .validate_collectives()
         .expect("collective call counts must match across ranks");
@@ -169,10 +204,7 @@ pub fn translate_workload(
     let mut programs: Vec<ClientProgram> = vec![ClientProgram::new(); n_ranks];
 
     // Collect the k-th collective call of every rank.
-    let max_collectives = workload
-        .ranks
-        .first()
-        .map_or(0, |r| r.collective_calls());
+    let max_collectives = workload.ranks.first().map_or(0, |r| r.collective_calls());
     let mut collective_plans = Vec::with_capacity(max_collectives);
     for k in 0..max_collectives {
         let contributions: Vec<Vec<LogicalRequest>> = workload
@@ -200,7 +232,7 @@ pub fn translate_workload(
                 LogicalStep::Compute(d) => out.push_compute(*d),
                 LogicalStep::Independent(reqs) => {
                     for req in reqs {
-                        let phys = translate_request(placed, *req);
+                        let phys = translate_request_recorded(placed, *req, recorder);
                         out.push_batch(phys);
                     }
                 }
@@ -221,7 +253,7 @@ pub fn translate_workload(
                             out.push_barrier();
                             let mine: Vec<PhysRequest> = plan.aggregated[rank]
                                 .iter()
-                                .flat_map(|r| translate_request(placed, *r))
+                                .flat_map(|r| translate_request_recorded(placed, *r, recorder))
                                 .collect();
                             if !mine.is_empty() {
                                 out.push_batch(mine);
@@ -248,9 +280,31 @@ pub fn run_workload(
     workload: &Workload,
     ccfg: &CollectiveConfig,
 ) -> SimReport {
+    run_workload_recorded(cluster, rst, workload, ccfg, &NoopRecorder)
+}
+
+/// [`run_workload`] with full-stack observability: the planned per-region
+/// stripes land as gauges (`mw.region.stripe_h` / `mw.region.stripe_s`),
+/// translation records routing counters, and the simulation records
+/// per-server histograms plus one span per request.
+pub fn run_workload_recorded(
+    cluster: &ClusterConfig,
+    rst: &RegionStripeTable,
+    workload: &Workload,
+    ccfg: &CollectiveConfig,
+    recorder: &dyn Recorder,
+) -> SimReport {
+    if recorder.is_enabled() {
+        for (region, entry) in rst.entries().iter().enumerate() {
+            let labels = [("region", region.to_string())];
+            recorder.gauge_set("mw.region.stripe_h", &labels, entry.h as f64);
+            recorder.gauge_set("mw.region.stripe_s", &labels, entry.s as f64);
+            recorder.gauge_set("mw.region.len", &labels, entry.len as f64);
+        }
+    }
     let placed = place(cluster, rst, 0);
-    let programs = translate_workload(cluster, &placed, workload, ccfg);
-    simulate(cluster, &placed.files, &programs)
+    let programs = translate_workload_recorded(cluster, &placed, workload, ccfg, recorder);
+    simulate_recorded(cluster, &placed.files, &programs, recorder)
 }
 
 /// The full paper pipeline for one workload: trace it, plan a layout with
@@ -261,10 +315,25 @@ pub fn trace_plan_run(
     workload: &Workload,
     ccfg: &CollectiveConfig,
 ) -> (RegionStripeTable, SimReport) {
+    trace_plan_run_recorded(cluster, policy, workload, ccfg, &NoopRecorder)
+}
+
+/// [`trace_plan_run`] with observability through every phase (see
+/// [`run_workload_recorded`]).
+pub fn trace_plan_run_recorded(
+    cluster: &ClusterConfig,
+    policy: &dyn LayoutPolicy,
+    workload: &Workload,
+    ccfg: &CollectiveConfig,
+    recorder: &dyn Recorder,
+) -> (RegionStripeTable, SimReport) {
     let trace = collect_trace_lowered(cluster, workload, ccfg);
+    if recorder.is_enabled() {
+        recorder.counter_add("mw.trace.records", &[], trace.len() as u64);
+    }
     let file_size = workload.extent().max(1);
     let rst = policy.plan(&trace, file_size);
-    let report = run_workload(cluster, &rst, workload, ccfg);
+    let report = run_workload_recorded(cluster, &rst, workload, ccfg, recorder);
     (rst, report)
 }
 
@@ -308,7 +377,11 @@ mod tests {
     fn translation_splits_on_region_boundary() {
         let cluster = ClusterConfig::paper_default();
         let placed = place(&cluster, &two_region_rst(), 0);
-        let phys = translate_request(&placed, LogicalRequest::read(4 * MB - KB, 2 * KB));
+        let phys = translate_request_recorded(
+            &placed,
+            LogicalRequest::read(4 * MB - KB, 2 * KB),
+            &NoopRecorder,
+        );
         assert_eq!(phys.len(), 2);
         assert_eq!(phys[0].file, 0);
         assert_eq!(phys[0].offset, 4 * MB - KB);
@@ -322,7 +395,8 @@ mod tests {
     fn zero_byte_request_routes_to_region() {
         let cluster = ClusterConfig::paper_default();
         let placed = place(&cluster, &two_region_rst(), 0);
-        let phys = translate_request(&placed, LogicalRequest::read(5 * MB, 0));
+        let phys =
+            translate_request_recorded(&placed, LogicalRequest::read(5 * MB, 0), &NoopRecorder);
         assert_eq!(phys.len(), 1);
         assert_eq!(phys[0].file, 1);
         assert_eq!(phys[0].size, 0);
@@ -424,6 +498,44 @@ mod tests {
     }
 
     #[test]
+    fn recorded_run_counts_region_routing() {
+        use harl_simcore::MemoryRecorder;
+        let cluster = ClusterConfig::paper_default();
+        let mut w = Workload::with_ranks(2);
+        // Rank 0 stays inside region 0; rank 1 straddles the 4 MiB boundary.
+        w.ranks[0].push_request(LogicalRequest::write(0, 512 * KB));
+        w.ranks[1].push_request(LogicalRequest::write(4 * MB - KB, 2 * KB));
+        let rec = MemoryRecorder::new();
+        let report = run_workload_recorded(
+            &cluster,
+            &two_region_rst(),
+            &w,
+            &CollectiveConfig::default(),
+            &rec,
+        );
+        assert_eq!(report.requests_completed, 3, "straddler splits in two");
+        let r0 = [("region", "0".to_string()), ("op", "write".to_string())];
+        let r1 = [("region", "1".to_string()), ("op", "write".to_string())];
+        assert_eq!(rec.counter_value("mw.region.requests", &r0), 2);
+        assert_eq!(rec.counter_value("mw.region.requests", &r1), 1);
+        assert_eq!(rec.counter_value("mw.region.bytes", &r1), KB);
+        // Fan-out histogram: one single-piece request, one two-piece.
+        let fanout = rec
+            .histogram_snapshot("mw.request.fanout", &[("op", "write".to_string())])
+            .unwrap();
+        assert_eq!(fanout.count(), 2);
+        assert_eq!(fanout.bucket_for(1), 1);
+        assert_eq!(fanout.bucket_for(2), 1);
+        // Planned stripes exported as gauges.
+        assert_eq!(
+            rec.gauge_value("mw.region.stripe_h", &[("region", "0".to_string())]),
+            Some((64 * KB) as f64)
+        );
+        // The downstream simulation recorded spans through the same recorder.
+        assert_eq!(rec.spans().len(), 3);
+    }
+
+    #[test]
     fn trace_plan_run_with_harl() {
         let cluster = ClusterConfig::paper_default();
         let mut w = Workload::with_ranks(4);
@@ -442,8 +554,7 @@ mod tests {
 
         // Sanity: HARL at least matches the 64K default on this workload.
         let fixed = FixedPolicy::new(64 * KB);
-        let (_, fixed_report) =
-            trace_plan_run(&cluster, &fixed, &w, &CollectiveConfig::default());
+        let (_, fixed_report) = trace_plan_run(&cluster, &fixed, &w, &CollectiveConfig::default());
         assert!(
             report.makespan <= fixed_report.makespan,
             "HARL {h} worse than default {f}",

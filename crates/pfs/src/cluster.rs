@@ -144,7 +144,10 @@ impl ClusterConfig {
             }
             base += class.count;
         }
-        panic!("server id {id} out of range ({} servers)", self.server_count());
+        panic!(
+            "server id {id} out of range ({} servers)",
+            self.server_count()
+        );
     }
 
     /// Server ids belonging to class `class_idx`.
@@ -203,8 +206,7 @@ mod tests {
 
     #[test]
     fn extra_class_extends_ids() {
-        let c = ClusterConfig::hybrid(2, 2)
-            .with_extra_class(3, harl_devices::nvme_2020_preset());
+        let c = ClusterConfig::hybrid(2, 2).with_extra_class(3, harl_devices::nvme_2020_preset());
         assert_eq!(c.server_count(), 7);
         assert_eq!(c.class_servers(2), 4..7);
         assert_eq!(c.profile_of(6).kind, DeviceKind::Other);

@@ -37,11 +37,7 @@ impl FileLayout {
         let mut ids: Vec<ServerId> = kept.iter().map(|&(id, _)| id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(
-            ids.len(),
-            kept.len(),
-            "duplicate server in file layout"
-        );
+        assert_eq!(ids.len(), kept.len(), "duplicate server in file layout");
         let servers = kept.iter().map(|&(id, _)| id).collect();
         let group = GroupLayout::new(kept.iter().map(|&(_, w)| w).collect());
         FileLayout { servers, group }

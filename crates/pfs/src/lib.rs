@@ -45,4 +45,4 @@ pub use geometry::GroupLayout;
 pub use layout::FileLayout;
 pub use report::{BusyBuckets, ServerReport, SimReport};
 pub use request::{ClientProgram, FileId, PhysRequest, Step};
-pub use sim::simulate;
+pub use sim::{simulate, simulate_recorded};

@@ -192,6 +192,26 @@ mod tests {
     }
 
     #[test]
+    fn busy_buckets_straddle_into_overflow() {
+        // An interval that starts in range and runs far past the series end
+        // must land its in-range part normally and absorb the whole tail in
+        // the last bucket as one chunk (no per-width iteration past the end).
+        let mut b = BusyBuckets::new(SimNanos(100), 3);
+        b.record(SimNanos(150), SimNanos(1_000));
+        assert_eq!(b.buckets[0], SimNanos::ZERO);
+        assert_eq!(b.buckets[1], SimNanos(50)); // [150, 200)
+        assert_eq!(b.buckets[2], SimNanos(800)); // [200, 1000) absorbed
+        assert_eq!(b.total(), SimNanos(850));
+        // The overflow bucket's utilisation is allowed to exceed 1.0.
+        let u = b.utilisation();
+        assert!((u[2] - 8.0).abs() < 1e-12);
+        assert!(u[0] == 0.0 && (u[1] - 0.5).abs() < 1e-12);
+        // Repeated overflow keeps accumulating in the same bucket.
+        b.record(SimNanos(2_000), SimNanos(2_100));
+        assert_eq!(b.buckets[2], SimNanos(900));
+    }
+
+    #[test]
     #[should_panic(expected = "degenerate bucket")]
     fn zero_width_rejected() {
         BusyBuckets::new(SimNanos::ZERO, 4);

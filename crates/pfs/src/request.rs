@@ -149,7 +149,10 @@ mod tests {
         let mut p = ClientProgram::new();
         p.push_request(PhysRequest::write(0, 0, 100));
         p.push_compute(SimNanos::from_millis(5));
-        p.push_batch(vec![PhysRequest::read(0, 0, 30), PhysRequest::read(0, 30, 70)]);
+        p.push_batch(vec![
+            PhysRequest::read(0, 0, 30),
+            PhysRequest::read(0, 30, 70),
+        ]);
         assert_eq!(p.total_bytes(), (100, 100));
         assert_eq!(p.request_count(), 3);
         assert_eq!(p.steps.len(), 3);

@@ -25,6 +25,7 @@ use crate::layout::FileLayout;
 use crate::report::{ServerReport, SimReport};
 use crate::request::{ClientProgram, FileId, Step};
 use harl_devices::OpKind;
+use harl_simcore::metrics::{NoopRecorder, Recorder, SpanHop, SpanRecord};
 use harl_simcore::{Engine, OnlineStats, SimNanos, SimRng, Timeline};
 
 /// Events of the PFS simulation.
@@ -71,6 +72,8 @@ struct ReqState {
     subs: Vec<(usize, u64)>,
     pending: usize,
     issued: SimNanos,
+    /// Lifecycle hops, collected only when a recorder is enabled.
+    hops: Vec<SpanHop>,
 }
 
 struct ClientState {
@@ -89,6 +92,25 @@ pub fn simulate(
     files: &[FileLayout],
     programs: &[ClientProgram],
 ) -> SimReport {
+    simulate_recorded(cluster, files, programs, &NoopRecorder)
+}
+
+/// [`simulate`] with observability: per-server queue-wait and service-time
+/// histograms (`pfs.server.queue_wait_ns` / `pfs.server.service_ns`,
+/// labelled by server id and device kind), request counters, engine-level
+/// metrics, and one [`SpanRecord`] per completed request capturing its
+/// lifecycle (issue → queue → service → complete, per hop).
+///
+/// With a disabled recorder (the default [`NoopRecorder`]) every
+/// instrumentation site short-circuits on [`Recorder::is_enabled`], so this
+/// costs nothing measurable over the plain path.
+pub fn simulate_recorded(
+    cluster: &ClusterConfig,
+    files: &[FileLayout],
+    programs: &[ClientProgram],
+    recorder: &dyn Recorder,
+) -> SimReport {
+    let rec_on = recorder.is_enabled();
     let n_servers = cluster.server_count();
     let mut servers: Vec<ServerState> = (0..n_servers)
         .map(|id| ServerState {
@@ -181,8 +203,23 @@ pub fn simulate(
                             subs: Vec::new(),
                             pending: 0,
                             issued: now,
+                            hops: Vec::new(),
                         });
                         let grant = mds.acquire(now, cluster.mds_service);
+                        if rec_on {
+                            recorder.counter_add(
+                                "pfs.requests.issued",
+                                &[("op", pr.op.to_string())],
+                                1,
+                            );
+                            reqs[req].hops.push(SpanHop {
+                                stage: "mds",
+                                server: None,
+                                arrive: now.as_nanos(),
+                                start: grant.start.as_nanos(),
+                                end: grant.end.as_nanos(),
+                            });
+                        }
                         sched.schedule(grant.end, Ev::MdsDone { req });
                     }
                 }
@@ -220,6 +257,15 @@ pub fn simulate(
                         let service =
                             SimNanos::from_secs_f64(z as f64 * net.t_s_per_byte) + latency;
                         let grant = client_nics[node].acquire(now, service);
+                        if rec_on {
+                            reqs[req].hops.push(SpanHop {
+                                stage: "client_nic",
+                                server: None,
+                                arrive: now.as_nanos(),
+                                start: grant.start.as_nanos(),
+                                end: grant.end.as_nanos(),
+                            });
+                        }
                         sched.schedule(grant.end, Ev::ArriveServerNic { req, sub });
                     }
                     OpKind::Read => {
@@ -233,6 +279,15 @@ pub fn simulate(
             let (server, z) = reqs[req].subs[sub];
             let service = SimNanos::from_secs_f64(z as f64 * net.t_s_per_byte);
             let grant = servers[server].nic.acquire(now, service);
+            if rec_on {
+                reqs[req].hops.push(SpanHop {
+                    stage: "server_nic",
+                    server: Some(server),
+                    arrive: now.as_nanos(),
+                    start: grant.start.as_nanos(),
+                    end: grant.end.as_nanos(),
+                });
+            }
             sched.schedule(grant.end, Ev::ArriveDisk { req, sub });
         }
         Ev::ArriveDisk { req, sub } => {
@@ -248,6 +303,25 @@ pub fn simulate(
             let grant = srv.disk.acquire(now, service);
             srv.bytes += z;
             srv.busy_series.record(grant.start, grant.end);
+            if rec_on {
+                let labels = [
+                    ("server", server.to_string()),
+                    ("kind", cluster.profile_of(server).kind.to_string()),
+                ];
+                recorder.observe("pfs.server.queue_wait_ns", &labels, grant.queued.as_nanos());
+                recorder.observe(
+                    "pfs.server.service_ns",
+                    &labels,
+                    (grant.end - grant.start).as_nanos(),
+                );
+                reqs[req].hops.push(SpanHop {
+                    stage: "disk",
+                    server: Some(server),
+                    arrive: now.as_nanos(),
+                    start: grant.start.as_nanos(),
+                    end: grant.end.as_nanos(),
+                });
+            }
             sched.schedule(grant.end, Ev::DiskDone { req, sub });
         }
         Ev::DiskDone { req, sub } => {
@@ -260,6 +334,15 @@ pub fn simulate(
                 OpKind::Read => {
                     let service = SimNanos::from_secs_f64(z as f64 * net.t_s_per_byte);
                     let grant = servers[server].nic.acquire(now, service);
+                    if rec_on {
+                        reqs[req].hops.push(SpanHop {
+                            stage: "server_nic",
+                            server: Some(server),
+                            arrive: now.as_nanos(),
+                            start: grant.start.as_nanos(),
+                            end: grant.end.as_nanos(),
+                        });
+                    }
                     sched.schedule(grant.end + latency, Ev::ReturnAtClient { req, sub });
                 }
             }
@@ -269,6 +352,15 @@ pub fn simulate(
             let node = cluster.node_of(reqs[req].client);
             let service = SimNanos::from_secs_f64(z as f64 * net.t_s_per_byte);
             let grant = client_nics[node].acquire(now, service);
+            if rec_on {
+                reqs[req].hops.push(SpanHop {
+                    stage: "client_nic",
+                    server: None,
+                    arrive: now.as_nanos(),
+                    start: grant.start.as_nanos(),
+                    end: grant.end.as_nanos(),
+                });
+            }
             sched.schedule(grant.end, Ev::SubDone { req });
         }
         Ev::SubDone { req } => {
@@ -278,6 +370,25 @@ pub fn simulate(
                 r.pending == 0
             };
             if done {
+                if rec_on {
+                    let hops = std::mem::take(&mut reqs[req].hops);
+                    let r = &reqs[req];
+                    recorder.counter_add("pfs.requests.completed", &[("op", r.op.to_string())], 1);
+                    recorder.span(SpanRecord {
+                        id: req as u64,
+                        kind: "request",
+                        labels: vec![
+                            ("client", r.client.to_string()),
+                            ("op", r.op.to_string()),
+                            ("file", r.file.to_string()),
+                            ("size", r.size.to_string()),
+                            ("offset", r.offset.to_string()),
+                        ],
+                        issued: r.issued.as_nanos(),
+                        completed: now.as_nanos(),
+                        hops,
+                    });
+                }
                 let r = &reqs[req];
                 let lat = (now - r.issued).as_secs_f64();
                 match r.op {
@@ -301,6 +412,18 @@ pub fn simulate(
             }
         }
     });
+
+    if rec_on {
+        engine.record_metrics(recorder);
+        for (id, s) in servers.iter().enumerate() {
+            let labels = [
+                ("server", id.to_string()),
+                ("kind", cluster.profile_of(id).kind.to_string()),
+            ];
+            recorder.counter_add("pfs.server.bytes", &labels, s.bytes);
+            recorder.counter_add("pfs.server.sub_requests", &labels, s.disk.jobs_served());
+        }
+    }
 
     let stuck: Vec<usize> = barrier_waiting.iter().flatten().copied().collect();
     assert!(
@@ -493,14 +616,18 @@ mod tests {
         p.push_request(PhysRequest::write(0, 0, 4096));
         let report = simulate(&cluster, &files, &[p]);
         assert!(report.makespan > SimNanos::from_secs(1));
-        assert!((report.write_latency.mean()) < 0.1, "latency excludes compute");
+        assert!(
+            (report.write_latency.mean()) < 0.1,
+            "latency excludes compute"
+        );
     }
 
     #[test]
     fn batch_runs_concurrently() {
         // 8 requests as one batch should finish far faster than 8 issued
         // synchronously back to back (they overlap at distinct servers).
-        let cluster = ClusterConfig::paper_default().with_network(NetworkProfile::infinitely_fast());
+        let cluster =
+            ClusterConfig::paper_default().with_network(NetworkProfile::infinitely_fast());
         let files = vec![FileLayout::fixed(&cluster, 64 * 1024)];
         // One 64 KiB stripe per server: request i lands on server i.
         let reqs: Vec<_> = (0..8u64)
@@ -603,11 +730,80 @@ mod tests {
     }
 
     #[test]
+    fn recorded_run_captures_spans_and_histograms() {
+        use harl_simcore::MemoryRecorder;
+        let (cluster, files) = one_file_cluster(64 * 1024);
+        let programs = vec![sync_program(vec![
+            PhysRequest::read(0, 0, 512 * 1024),
+            PhysRequest::write(0, 512 * 1024, 512 * 1024),
+        ])];
+        let rec = MemoryRecorder::new();
+        let report = simulate_recorded(&cluster, &files, &programs, &rec);
+        assert_eq!(report.requests_completed, 2);
+        // One span per request, each with an MDS hop plus per-sub disk hops.
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        for span in &spans {
+            assert!(span.hops.iter().any(|h| h.stage == "mds"));
+            assert_eq!(
+                span.hops.iter().filter(|h| h.stage == "disk").count(),
+                8,
+                "one disk hop per sub-request"
+            );
+            assert!(span.completed >= span.issued);
+            for h in &span.hops {
+                assert!(h.arrive <= h.start && h.start <= h.end);
+            }
+        }
+        // Per-server service histograms saw one sub-request per op each.
+        for s in &report.servers {
+            let labels = [("server", s.id.to_string()), ("kind", s.kind.to_string())];
+            let h = rec
+                .histogram_snapshot("pfs.server.service_ns", &labels)
+                .expect("service histogram per server");
+            assert_eq!(h.count(), 2);
+        }
+        assert_eq!(
+            rec.counter_value("pfs.requests.completed", &[("op", "read".to_string())]),
+            1
+        );
+        assert_eq!(
+            rec.counter_value("pfs.requests.issued", &[("op", "write".to_string())]),
+            1
+        );
+        // Engine-level metrics arrived too.
+        assert!(rec.counter_value("sim.events.dispatched", &[]) > 0);
+        assert!(rec.gauge_value("sim.queue_depth.hwm", &[]).unwrap_or(0.0) >= 1.0);
+    }
+
+    #[test]
+    fn recorded_run_matches_plain_run() {
+        use harl_simcore::MemoryRecorder;
+        // Instrumentation must not perturb simulated time.
+        let (cluster, files) = one_file_cluster(64 * 1024);
+        let programs: Vec<_> = (0..4)
+            .map(|c| {
+                sync_program(
+                    (0..8u64)
+                        .map(|i| PhysRequest::write(0, (c * 8 + i) * 512 * 1024, 512 * 1024))
+                        .collect(),
+                )
+            })
+            .collect();
+        let plain = simulate(&cluster, &files, &programs);
+        let rec = MemoryRecorder::new();
+        let recorded = simulate_recorded(&cluster, &files, &programs, &rec);
+        assert_eq!(plain.makespan, recorded.makespan);
+        assert_eq!(plain.bytes_written, recorded.bytes_written);
+        assert_eq!(rec.spans().len(), 32);
+    }
+
+    #[test]
     fn straggler_slows_the_run() {
         use crate::faults::Degradation;
         let base = ClusterConfig::paper_default();
-        let degraded = ClusterConfig::paper_default()
-            .with_degradation(Degradation::permanent(0, 8.0));
+        let degraded =
+            ClusterConfig::paper_default().with_degradation(Degradation::permanent(0, 8.0));
         let files_a = vec![FileLayout::fixed(&base, 64 * 1024)];
         let files_b = vec![FileLayout::fixed(&degraded, 64 * 1024)];
         let programs: Vec<_> = (0..8)
@@ -655,8 +851,8 @@ mod tests {
     fn mds_serialises_lookups() {
         // 100 zero-latency clients hitting the MDS at t=0 must serialise:
         // makespan >= 100 * mds_service even with free network/storage.
-        let mut cluster = ClusterConfig::paper_default()
-            .with_network(NetworkProfile::infinitely_fast());
+        let mut cluster =
+            ClusterConfig::paper_default().with_network(NetworkProfile::infinitely_fast());
         cluster.mds_service = SimNanos::from_micros(100);
         let files = vec![FileLayout::fixed(&cluster, 4096)];
         let programs: Vec<_> = (0..100)

@@ -72,9 +72,9 @@ proptest! {
         len in 1u64..(1 << 20),
     ) {
         let gl = GroupLayout::new(widths.clone());
-        for slot in 0..widths.len() {
+        for (slot, &width) in widths.iter().enumerate() {
             let frag = gl.largest_fragment(slot, offset, len);
-            prop_assert!(frag <= widths[slot].max(0));
+            prop_assert!(frag <= width);
             prop_assert!(frag <= len);
             // A slot with bytes has a fragment and vice versa.
             let bytes = gl.bytes_in_range(slot, offset, len);

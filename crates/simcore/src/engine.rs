@@ -74,6 +74,7 @@ pub struct Scheduler<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: SimNanos,
+    queue_hwm: usize,
 }
 
 impl<E> Scheduler<E> {
@@ -82,6 +83,7 @@ impl<E> Scheduler<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimNanos::ZERO,
+            queue_hwm: 0,
         }
     }
 
@@ -99,6 +101,7 @@ impl<E> Scheduler<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
+        self.queue_hwm = self.queue_hwm.max(self.heap.len());
         EventId(seq)
     }
 
@@ -118,6 +121,12 @@ impl<E> Scheduler<E> {
     #[inline]
     pub fn pending(&self) -> usize {
         self.heap.len()
+    }
+
+    /// The deepest the event queue has ever been (high-water mark).
+    #[inline]
+    pub fn queue_depth_hwm(&self) -> usize {
+        self.queue_hwm
     }
 
     fn pop(&mut self) -> Option<(SimNanos, E)> {
@@ -161,6 +170,22 @@ impl<E> Engine<E> {
     #[inline]
     pub fn dispatched(&self) -> u64 {
         self.dispatched
+    }
+
+    /// The deepest the event queue has ever been (high-water mark).
+    #[inline]
+    pub fn queue_depth_hwm(&self) -> usize {
+        self.sched.queue_depth_hwm()
+    }
+
+    /// Report engine-level observability (events dispatched, queue-depth
+    /// high-water mark) into `recorder`. Call after a run completes.
+    pub fn record_metrics(&self, recorder: &dyn crate::metrics::Recorder) {
+        if !recorder.is_enabled() {
+            return;
+        }
+        recorder.counter_add("sim.events.dispatched", &[], self.dispatched);
+        recorder.gauge_max("sim.queue_depth.hwm", &[], self.queue_depth_hwm() as f64);
     }
 
     /// Run until the queue is empty, delivering each event to `handler`.
@@ -220,10 +245,7 @@ mod tests {
         eng.schedule(SimNanos(20), Ev::B);
         let mut order = vec![];
         eng.run(|_, now, ev| order.push((now.as_nanos(), ev)));
-        assert_eq!(
-            order,
-            vec![(10, Ev::A), (20, Ev::B), (30, Ev::C(3))]
-        );
+        assert_eq!(order, vec![(10, Ev::A), (20, Ev::B), (30, Ev::C(3))]);
     }
 
     #[test]
@@ -283,6 +305,22 @@ mod tests {
         let drained = eng.run_until(SimNanos::MAX, |_, _, _| seen += 1);
         assert!(drained);
         assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn queue_hwm_tracks_deepest_point() {
+        let mut eng = Engine::new();
+        for i in 0..5u64 {
+            eng.schedule(SimNanos(i), Ev::A);
+        }
+        assert_eq!(eng.queue_depth_hwm(), 5);
+        eng.run(|_, _, _| {});
+        // Draining does not lower the mark.
+        assert_eq!(eng.queue_depth_hwm(), 5);
+        let rec = crate::metrics::MemoryRecorder::new();
+        eng.record_metrics(&rec);
+        assert_eq!(rec.counter_value("sim.events.dispatched", &[]), 5);
+        assert_eq!(rec.gauge_value("sim.queue_depth.hwm", &[]), Some(5.0));
     }
 
     #[test]

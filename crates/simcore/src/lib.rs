@@ -24,15 +24,17 @@
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
-pub mod timeline;
 pub mod time;
+pub mod timeline;
 pub mod units;
 
 pub use engine::{Engine, EventId, Scheduler};
+pub use metrics::{MemoryRecorder, NoopRecorder, Recorder, SpanHop, SpanRecord};
 pub use rng::SimRng;
-pub use stats::{Histogram, OnlineStats, coefficient_of_variation};
+pub use stats::{coefficient_of_variation, Histogram, OnlineStats};
 pub use time::SimNanos;
 pub use timeline::Timeline;
 pub use units::{throughput_mib_s, ByteSize, GIB, KIB, MIB};

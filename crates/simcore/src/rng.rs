@@ -6,12 +6,14 @@
 //! derived by hashing `(seed, label)` with SplitMix64, so adding a new
 //! consumer never perturbs the draws of existing ones — experiments stay
 //! comparable as the code evolves.
+//!
+//! The generator itself is xoshiro256++ (public domain, Blackman & Vigna),
+//! implemented in-crate so the simulator has no external RNG dependency:
+//! the build environment has no registry access, and a self-contained
+//! generator keeps draw sequences stable across toolchain updates.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// SplitMix64 step — a tiny, high-quality mixer used only for deriving
-/// sub-seeds, not for simulation draws themselves.
+/// SplitMix64 step — a tiny, high-quality mixer used for deriving
+/// sub-seeds and for expanding one 64-bit seed into generator state.
 #[inline]
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -31,15 +33,52 @@ pub fn derive_seed(master: u64, label: &str) -> u64 {
     splitmix64(&mut state)
 }
 
+/// xoshiro256++ core state.
+#[derive(Debug, Clone)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Expand one 64-bit seed into full state via SplitMix64 (the seeding
+    /// procedure the xoshiro authors recommend).
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256pp { s }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
 /// A seeded random stream.
 ///
-/// Thin wrapper over `rand::StdRng` that remembers its seed (useful for
-/// reporting which seed produced a result) and offers the handful of draw
-/// shapes the simulator needs.
+/// Wraps the in-crate xoshiro256++ generator, remembers its seed (useful
+/// for reporting which seed produced a result) and offers the handful of
+/// draw shapes the simulator needs.
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: StdRng,
+    inner: Xoshiro256pp,
 }
 
 impl SimRng {
@@ -47,7 +86,7 @@ impl SimRng {
     pub fn new(seed: u64) -> Self {
         SimRng {
             seed,
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::seed_from_u64(seed),
         }
     }
 
@@ -63,6 +102,27 @@ impl SimRng {
         self.seed
     }
 
+    /// Uniform draw in `[0, n)` via Lemire's multiply-shift with rejection
+    /// (unbiased).
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Lemire 2019: multiply a 64-bit draw by n; the high word is the
+        // candidate. Reject the small biased slice of the low word.
+        loop {
+            let x = self.inner.next_u64();
+            let m = x as u128 * n as u128;
+            let low = m as u64;
+            if low >= n {
+                return (m >> 64) as u64;
+            }
+            // low < n: only a subset of draws maps here; re-check threshold.
+            let threshold = n.wrapping_neg() % n;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
     /// Uniform draw in `[lo, hi]` (inclusive). `lo == hi` returns `lo`.
     ///
     /// # Panics
@@ -72,7 +132,11 @@ impl SimRng {
         if lo == hi {
             return lo;
         }
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.inner.next_u64();
+        }
+        lo + self.below(span + 1)
     }
 
     /// Uniform draw in `[lo, hi)` for `f64`.
@@ -81,7 +145,9 @@ impl SimRng {
         if lo == hi {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        // 53 random mantissa bits -> uniform in [0, 1).
+        let unit = (self.inner.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
     }
 
     /// A uniformly random index `< n`.
@@ -90,7 +156,7 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index over empty range");
-        self.inner.gen_range(0..n)
+        self.below(n as u64) as usize
     }
 
     /// Fisher–Yates shuffle.
@@ -179,5 +245,26 @@ mod tests {
     #[should_panic(expected = "range inverted")]
     fn inverted_range_panics() {
         SimRng::new(0).uniform_u64(5, 1);
+    }
+
+    #[test]
+    fn full_range_draw_does_not_overflow() {
+        let mut r = SimRng::new(9);
+        // Exercises the span == u64::MAX special case.
+        let _ = r.uniform_u64(0, u64::MAX);
+    }
+
+    #[test]
+    fn extremes_reachable_in_inclusive_range() {
+        let mut r = SimRng::new(13);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..2000 {
+            match r.uniform_u64(0, 7) {
+                0 => lo_seen = true,
+                7 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen, "inclusive bounds must both be drawable");
     }
 }

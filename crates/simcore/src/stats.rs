@@ -189,7 +189,7 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             acc += c;
             if acc >= target.max(1) {
-                return Some(if i == 0 { 0 } else { (1u64 << i) - 1 });
+                return Some(bucket_upper_bound(i));
             }
         }
         Some(u64::MAX)
@@ -201,7 +201,17 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (if i == 0 { 0 } else { (1u64 << i) - 1 }, c))
+            .map(|(i, &c)| (bucket_upper_bound(i), c))
+    }
+}
+
+/// Inclusive upper bound of bucket `i`; the last bucket (values with the
+/// top bit set) saturates at `u64::MAX` — `1 << 64` would overflow.
+fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
     }
 }
 
@@ -308,5 +318,42 @@ mod tests {
         h.record(6);
         let buckets: Vec<_> = h.nonzero_buckets().collect();
         assert_eq!(buckets, vec![(7, 2)]); // [4,8) bucket, upper bound 7
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_upper_bound(q), None);
+        }
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn single_value_histogram_quantiles() {
+        let mut h = Histogram::new();
+        h.record(42);
+        // Every quantile of a one-value distribution is that value's bucket.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_upper_bound(q), Some(63)); // [32,64)
+        }
+        // Out-of-range quantiles clamp rather than panic.
+        assert_eq!(h.quantile_upper_bound(-1.0), Some(63));
+        assert_eq!(h.quantile_upper_bound(2.0), Some(63));
+    }
+
+    #[test]
+    fn max_bucket_does_not_overflow() {
+        // Values with the top bit set land in bucket 64, whose upper bound
+        // must saturate at u64::MAX instead of computing `1 << 64`.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket_for(u64::MAX), 2);
+        assert_eq!(h.quantile_upper_bound(1.0), Some(u64::MAX));
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(u64::MAX, 2)]);
     }
 }

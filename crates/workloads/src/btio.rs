@@ -215,7 +215,10 @@ mod tests {
         assert_eq!(reqs.len(), cfg.grid * cfg.grid / 2);
         let run = reqs[0].size;
         assert_eq!(run, (cfg.grid as u64 / 2) * BYTES_PER_CELL);
-        assert_eq!(reqs[1].offset - reqs[0].offset, cfg.grid as u64 * BYTES_PER_CELL);
+        assert_eq!(
+            reqs[1].offset - reqs[0].offset,
+            cfg.grid as u64 * BYTES_PER_CELL
+        );
     }
 
     #[test]

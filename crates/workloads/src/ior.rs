@@ -151,8 +151,7 @@ impl MultiRegionIorConfig {
             for (rank, prog) in workload.ranks.iter_mut().enumerate() {
                 let base = region_base + rank as u64 * segment;
                 let mut order: Vec<u64> = (0..blocks).collect();
-                let mut rng =
-                    SimRng::derived(self.seed, &format!("mr-ior-{ridx}-rank-{rank}"));
+                let mut rng = SimRng::derived(self.seed, &format!("mr-ior-{ridx}-rank-{rank}"));
                 rng.shuffle(&mut order);
                 for block in order {
                     prog.push_request(LogicalRequest {

@@ -100,8 +100,7 @@ impl PhasedConfig {
                 let base = phase.offset + rank as u64 * segment;
                 let mut order: Vec<u64> = (0..blocks).collect();
                 if phase.order == AccessOrder::Random {
-                    let mut rng =
-                        SimRng::derived(self.seed, &format!("phase-{pidx}-rank-{rank}"));
+                    let mut rng = SimRng::derived(self.seed, &format!("phase-{pidx}-rank-{rank}"));
                     rng.shuffle(&mut order);
                 }
                 for block in order {
@@ -181,7 +180,9 @@ mod tests {
             seed: 3,
         };
         let w = cfg.build();
-        assert!(matches!(w.ranks[0].steps[0], LogicalStep::Compute(d) if d == SimNanos::from_millis(5)));
+        assert!(
+            matches!(w.ranks[0].steps[0], LogicalStep::Compute(d) if d == SimNanos::from_millis(5))
+        );
     }
 
     #[test]

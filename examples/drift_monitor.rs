@@ -41,12 +41,7 @@ fn main() {
     .build();
     let live = collect_trace_lowered(&cluster, &new, &ccfg);
 
-    let mut monitor = OnlineMonitor::new(
-        model,
-        rst,
-        vec![512 * KIB],
-        OnlineConfig::default(),
-    );
+    let mut monitor = OnlineMonitor::new(model, rst, vec![512 * KIB], OnlineConfig::default());
     let mut fired = 0;
     for (i, rec) in live.records().iter().enumerate() {
         for event in monitor.observe(*rec) {

@@ -34,8 +34,7 @@ fn main() {
 
         let mut row = format!("{:<10}", ByteSize(rs).to_string());
         for &stripe in &fixed_stripes {
-            let (_, report) =
-                trace_plan_run(&cluster, &FixedPolicy::new(stripe), &workload, &ccfg);
+            let (_, report) = trace_plan_run(&cluster, &FixedPolicy::new(stripe), &workload, &ccfg);
             row.push_str(&format!(" {:>8.0}", report.throughput_mib_s()));
         }
         let harl = HarlPolicy::new(model.clone());

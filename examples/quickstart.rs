@@ -53,8 +53,14 @@ fn main() {
 
     // 5. Where did the imbalance go? (the paper's Fig. 1(a) view)
     println!("\nper-server busy time (normalised to fastest):");
-    println!("  default: {:?}", rounded(&default_report.normalized_server_times()));
-    println!("  HARL   : {:?}", rounded(&harl_report.normalized_server_times()));
+    println!(
+        "  default: {:?}",
+        rounded(&default_report.normalized_server_times())
+    );
+    println!(
+        "  HARL   : {:?}",
+        rounded(&harl_report.normalized_server_times())
+    );
 }
 
 fn rounded(xs: &[f64]) -> Vec<f64> {

@@ -42,17 +42,21 @@ pub mod prelude {
         TraceRecord,
     };
     pub use harl_devices::{
-        calibrate_network, calibrate_storage, hdd_2015_preset, nvme_2020_preset,
-        ssd_2015_preset, CalibrationConfig, DeviceKind, NetworkProfile, OpKind, StorageProfile,
+        calibrate_network, calibrate_storage, hdd_2015_preset, nvme_2020_preset, ssd_2015_preset,
+        CalibrationConfig, DeviceKind, NetworkProfile, OpKind, StorageProfile,
     };
     pub use harl_middleware::{
-        collect_trace, collect_trace_lowered, run_workload, trace_plan_run, CollectiveConfig,
-        LogicalRequest, RankProgram, Workload,
+        collect_trace, collect_trace_lowered, run_workload, run_workload_recorded, trace_plan_run,
+        trace_plan_run_recorded, CollectiveConfig, LogicalRequest, RankProgram, Workload,
     };
     pub use harl_pfs::{
-        simulate, ClientProgram, ClusterConfig, FileLayout, PhysRequest, SimReport,
+        simulate, simulate_recorded, ClientProgram, ClusterConfig, FileLayout, PhysRequest,
+        SimReport,
     };
-    pub use harl_simcore::{ByteSize, SimNanos, GIB, KIB, MIB};
+    pub use harl_simcore::{
+        ByteSize, MemoryRecorder, NoopRecorder, Recorder, SimNanos, SpanHop, SpanRecord, GIB, KIB,
+        MIB,
+    };
     pub use harl_workloads::{
         replay, AccessOrder, BtioConfig, IorConfig, MultiRegionIorConfig, Phase, PhasedConfig,
     };

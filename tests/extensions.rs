@@ -28,8 +28,7 @@ fn online_adaptation_converges_to_fresh_offline_plan() {
     // the adapted table must still beat the traditional 64K default.
     let cluster = ClusterConfig::paper_default();
     let ccfg = CollectiveConfig::default();
-    let model =
-        CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
+    let model = CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
 
     let old_workload = ior(OpKind::Read, 512 * KIB, 1);
     let old_trace = collect_trace_lowered(&cluster, &old_workload, &ccfg);
@@ -85,8 +84,7 @@ fn multiapp_per_app_planning_beats_shared_default() {
     let app1 = ior(OpKind::Read, 512 * KIB, 3);
     let app2 = ior(OpKind::Read, 128 * KIB, 4);
 
-    let model =
-        CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
+    let model = CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
     let plan = |w: &Workload| {
         let trace = collect_trace_lowered(&cluster, w, &ccfg);
         HarlPolicy::new(model.clone()).plan(&trace, FILE)
@@ -117,8 +115,7 @@ fn straggler_injection_visible_end_to_end() {
     let rst = RegionStripeTable::single(FILE, 32 * KIB, 160 * KIB);
 
     let healthy = ClusterConfig::paper_default();
-    let degraded =
-        ClusterConfig::paper_default().with_degradation(Degradation::permanent(6, 4.0));
+    let degraded = ClusterConfig::paper_default().with_degradation(Degradation::permanent(6, 4.0));
     let a = run_workload(&healthy, &rst, &w, &ccfg);
     let b = run_workload(&degraded, &rst, &w, &ccfg);
     assert!(
@@ -163,8 +160,7 @@ fn metadata_stays_bounded_on_adversarial_trace() {
     // threshold adaptation must keep the RST metadata bounded by the
     // fixed-size division (Sec. III-C).
     let cluster = ClusterConfig::paper_default();
-    let model =
-        CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
+    let model = CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
     let mut records = Vec::new();
     for i in 0..2048u64 {
         let size = if i % 2 == 0 { 16 * KIB } else { 2 * MIB };

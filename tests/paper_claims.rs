@@ -237,8 +237,7 @@ fn discussion_space_balancing_respects_budget() {
     let w = ior(OpKind::Read, 16, 512 * KIB, FILE);
     let ccfg = CollectiveConfig::default();
     let trace = collect_trace_lowered(&cluster, &w, &ccfg);
-    let model =
-        CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
+    let model = CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
     let rst = HarlPolicy::new(model.clone()).plan(&trace, FILE);
     let unconstrained = projected_sserver_bytes(&model, &rst);
     let balancer = SpaceBalancer {

@@ -141,7 +141,10 @@ fn replayed_trace_reproduces_workload_behaviour() {
     let a = run_workload(&cluster, &rst, &w, &ccfg);
     let b = run_workload(&cluster, &rst, &replayed, &ccfg);
     assert_eq!(a.bytes_read, b.bytes_read);
-    assert_eq!(a.makespan, b.makespan, "replay must be behaviourally identical");
+    assert_eq!(
+        a.makespan, b.makespan,
+        "replay must be behaviourally identical"
+    );
 }
 
 #[test]
@@ -203,7 +206,9 @@ fn k_profile_cluster_simulates() {
     // Three classes end to end at the pfs level.
     let cluster = ClusterConfig::hybrid(4, 2).with_extra_class(2, nvme_2020_preset());
     let layout = FileLayout::custom(
-        (0..8).map(|id| (id, if id < 4 { 16 * KIB } else { 64 * KIB })).collect(),
+        (0..8)
+            .map(|id| (id, if id < 4 { 16 * KIB } else { 64 * KIB }))
+            .collect(),
     );
     let mut prog = ClientProgram::new();
     for i in 0..32u64 {

@@ -1,0 +1,567 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container registry is unreachable in this build environment, so the
+//! workspace vendors a minimal serde replacement. Unlike real serde's
+//! visitor-based data model, the traits here are defined directly over a
+//! JSON [`Value`]: every serialisation in this workspace goes through
+//! `serde_json`, so the intermediate data model would only be dead weight.
+//!
+//! `#[derive(Serialize, Deserialize)]` works as usual via the vendored
+//! `serde_derive` (enabled by the `derive` feature, mirroring real serde).
+//! The `serde_json` shim re-exports [`Value`], [`Map`], [`Number`] and
+//! [`Error`] from here and adds the text format on top.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value: the entire data model of the vendored serde stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (integer or float, see [`Number`]).
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Map),
+}
+
+impl Value {
+    /// The object behind this value, if it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array behind this value, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string behind this value, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean behind this value, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This value as an `f64`, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// This value as a `u64`, if it is an exact non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// This value as an `i64`, if it is an exact integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// True for JSON `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup; `None` for non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+/// A JSON number. Integers keep exact 64-bit representations; only values
+/// that need it are stored as floats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Anything else.
+    F64(f64),
+}
+
+impl Number {
+    /// Lossy conversion to `f64` (exact for small integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(u) => u as f64,
+            Number::I64(i) => i as f64,
+            Number::F64(f) => f,
+        }
+    }
+
+    /// Exact conversion to `u64` if the number is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(u) => Some(u),
+            Number::I64(i) => u64::try_from(i).ok(),
+            Number::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+
+    /// Exact conversion to `i64` if the number is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U64(u) => i64::try_from(u).ok(),
+            Number::I64(i) => Some(i),
+            Number::F64(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map — the representation of JSON
+/// objects. Lookups are linear scans; objects in this workspace are small
+/// (config structs, figure rows), so ordered output matters more than
+/// lookup complexity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty object.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Insert `value` at `key`, replacing (in place) any existing entry.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// True when `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the object has no members.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate members in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// The single `(key, value)` entry, if the object has exactly one —
+    /// how externally tagged enum variants are recognised.
+    pub fn single_entry(&self) -> Option<(&str, &Value)> {
+        match self.entries.as_slice() {
+            [(k, v)] => Some((k.as_str(), v)),
+            _ => None,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// Serialisation/deserialisation error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// "expected X while deserialising Y".
+    pub fn expected(what: &str, ctx: &str) -> Self {
+        Error {
+            msg: format!("expected {what} while deserialising {ctx}"),
+        }
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str, ctx: &str) -> Self {
+        Error {
+            msg: format!("missing field `{field}` while deserialising {ctx}"),
+        }
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(tag: &str, ctx: &str) -> Self {
+        Error {
+            msg: format!("unknown variant `{tag}` for {ctx}"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Types that can render themselves as a JSON [`Value`].
+pub trait Serialize {
+    /// Produce the JSON value for `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a JSON value.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+// --- Serialize impls for std types ----------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::U64(v as u64))
+                } else {
+                    Value::Number(Number::I64(v))
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl Serialize for Map {
+    fn serialize(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+// --- Deserialize impls for std types --------------------------------------
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool", "bool"))
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", "String"))
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| Error::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(u).map_err(|_| Error::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| Error::expected("integer", stringify!($t)))?;
+                <$t>::try_from(i).map_err(|_| Error::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        if let Some(f) = v.as_f64() {
+            return Ok(f);
+        }
+        // Non-finite floats round-trip as strings (JSON has no literal for
+        // them; real serde_json degrades them to null, losing information).
+        match v.as_str() {
+            Some("inf") => Ok(f64::INFINITY),
+            Some("-inf") => Ok(f64::NEG_INFINITY),
+            Some("nan") => Ok(f64::NAN),
+            _ => Err(Error::expected("number", "f64")),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("array", "Vec"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(v).map(Some)
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let a = v
+            .as_array()
+            .ok_or_else(|| Error::expected("array", "tuple"))?;
+        if a.len() != 2 {
+            return Err(Error::expected("array of 2", "tuple"));
+        }
+        Ok((A::deserialize(&a[0])?, B::deserialize(&a[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let a = v
+            .as_array()
+            .ok_or_else(|| Error::expected("array", "tuple"))?;
+        if a.len() != 3 {
+            return Err(Error::expected("array of 3", "tuple"));
+        }
+        Ok((
+            A::deserialize(&a[0])?,
+            B::deserialize(&a[1])?,
+            C::deserialize(&a[2])?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces() {
+        let mut m = Map::new();
+        m.insert("b".into(), Value::Bool(true));
+        m.insert("a".into(), Value::Null);
+        m.insert("b".into(), Value::Bool(false));
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["b", "a"]);
+        assert_eq!(m.get("b"), Some(&Value::Bool(false)));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn number_conversions() {
+        assert_eq!(Number::U64(7).as_i64(), Some(7));
+        assert_eq!(Number::I64(-7).as_u64(), None);
+        assert_eq!(Number::F64(3.0).as_u64(), Some(3));
+        assert_eq!(Number::F64(3.5).as_u64(), None);
+    }
+
+    #[test]
+    fn option_and_tuple_round_trip() {
+        let v = Serialize::serialize(&(1u64, -2i64));
+        let back: (u64, i64) = Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, (1, -2));
+        let none: Option<u64> = Deserialize::deserialize(&Value::Null).unwrap();
+        assert_eq!(none, None);
+    }
+}

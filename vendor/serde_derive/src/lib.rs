@@ -1,0 +1,429 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real serde data model (Serializer/Deserializer visitors) is far more
+//! than this workspace needs: every serialisation in the repo goes through
+//! `serde_json`. The vendored `serde` shim therefore defines `Serialize` /
+//! `Deserialize` directly in terms of a JSON `Value`, and this crate derives
+//! those traits with a hand-rolled token parser (no `syn`/`quote`, so the
+//! workspace builds with zero network access).
+//!
+//! Supported shapes — exactly what the workspace uses:
+//!
+//! * structs with named fields (`#[serde(default)]` on fields honoured);
+//! * tuple structs (single-field ones serialise transparently, matching
+//!   both serde's newtype behaviour and `#[serde(transparent)]`);
+//! * enums with unit and newtype variants (externally tagged, like serde).
+//!
+//! Anything else (generics, struct variants, unsupported `#[serde(...)]`
+//! options) fails the build with a clear message rather than silently
+//! producing wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(gen_serialize(&item))
+}
+
+/// Derive the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(gen_deserialize(&item))
+}
+
+fn render(code: String) -> TokenStream {
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid code: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------------------
+// A tiny item parser over proc_macro tokens.
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Variant {
+    Unit(String),
+    /// Variant name and tuple arity.
+    Tuple(String, usize),
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Attribute flags gathered while skipping `#[...]` tokens.
+#[derive(Default)]
+struct Attrs {
+    transparent: bool,
+    default: bool,
+}
+
+/// Consume one `#[...]` attribute (the leading `#` was already seen),
+/// recording any `serde(...)` options we understand.
+fn eat_attribute(
+    iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+    attrs: &mut Attrs,
+) {
+    let Some(TokenTree::Group(g)) = iter.next() else {
+        panic!("serde_derive: malformed attribute");
+    };
+    let mut inner = g.stream().into_iter();
+    let Some(TokenTree::Ident(head)) = inner.next() else {
+        return;
+    };
+    if head.to_string() != "serde" {
+        return; // #[doc], #[non_exhaustive], ... — ignore.
+    }
+    let Some(TokenTree::Group(args)) = inner.next() else {
+        return;
+    };
+    for tok in args.stream() {
+        if let TokenTree::Ident(opt) = tok {
+            match opt.to_string().as_str() {
+                "transparent" => attrs.transparent = true,
+                "default" => attrs.default = true,
+                other => panic!("serde_derive: unsupported serde option `{other}`"),
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let mut attrs = Attrs::default();
+    // Attributes and visibility before the struct/enum keyword.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => eat_attribute(&mut iter, &mut attrs),
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        // Skip a following (crate)/(super)/(in ...) group.
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => break s,
+                    other => panic!("serde_derive: unexpected token `{other}` before item"),
+                }
+            }
+            other => panic!("serde_derive: unexpected input {other:?}"),
+        }
+    };
+    let Some(TokenTree::Ident(name)) = iter.next() else {
+        panic!("serde_derive: expected item name");
+    };
+    let name = name.to_string();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the offline shim");
+        }
+    }
+    let Some(TokenTree::Group(body)) = iter.next() else {
+        panic!("serde_derive: `{name}` has no body (unit structs are not serialised anywhere in this workspace)");
+    };
+
+    let shape = if kind == "struct" {
+        match body.delimiter() {
+            Delimiter::Brace => Shape::Named(parse_named_fields(body.stream())),
+            Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(body.stream());
+                if attrs.transparent && arity != 1 {
+                    panic!("serde_derive: #[serde(transparent)] needs exactly one field");
+                }
+                Shape::Tuple(arity)
+            }
+            _ => panic!("serde_derive: unexpected struct body"),
+        }
+    } else {
+        Shape::Enum(parse_variants(body.stream()))
+    };
+    Item { name, shape }
+}
+
+/// Parse `name: Type, ...` fields, skipping attributes, visibility and the
+/// type tokens (angle-bracket depth tracked so `Vec<(A, B)>` commas do not
+/// split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let mut attrs = Attrs::default();
+        // Field attributes + visibility.
+        let name = loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    eat_attribute(&mut iter, &mut attrs)
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde_derive: unexpected field token {other}"),
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type up to a top-level comma.
+        let mut angle = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
+    }
+}
+
+/// Count the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle = 0i32;
+    let mut pending = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    count + usize::from(pending)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let mut attrs = Attrs::default();
+        let name = loop {
+            match iter.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    eat_attribute(&mut iter, &mut attrs)
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde_derive: unexpected variant token {other}"),
+            }
+        };
+        match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                iter.next();
+                variants.push(Variant::Tuple(name, arity));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!(
+                    "serde_derive: struct variant `{name}` is not supported by the offline shim"
+                );
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Skip to (and over) the separating comma, rejecting discriminants.
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' => break,
+                TokenTree::Punct(p) if p.as_char() == '=' => {
+                    panic!("serde_derive: explicit discriminants are not supported")
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (plain strings, parsed back into a TokenStream).
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Variant::Tuple(vn, arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::serialize(x0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from(\"{vn}\"), {inner});\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut s = format!(
+                "let m = v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?;\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                let missing = if f.default {
+                    "::core::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return ::core::result::Result::Err(::serde::Error::missing_field(\"{}\", \"{name}\"))",
+                        f.name
+                    )
+                };
+                s.push_str(&format!(
+                    "{0}: match m.get(\"{0}\") {{\n\
+                     ::core::option::Option::Some(x) => ::serde::Deserialize::deserialize(x)?,\n\
+                     ::core::option::Option::None => {missing},\n}},\n",
+                    f.name
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Tuple(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let mut s = format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\"))?;\n\
+                 if a.len() != {n} {{ return ::core::result::Result::Err(::serde::Error::expected(\"array of {n}\", \"{name}\")); }}\n\
+                 ::core::result::Result::Ok({name}("
+            );
+            for i in 0..*n {
+                s.push_str(&format!("::serde::Deserialize::deserialize(&a[{i}])?, "));
+            }
+            s.push_str("))");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => unit_arms.push_str(&format!(
+                        "\"{vn}\" => return ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Variant::Tuple(vn, arity) => {
+                        let build = if *arity == 1 {
+                            format!("{name}::{vn}(::serde::Deserialize::deserialize(val)?)")
+                        } else {
+                            let mut b = format!(
+                                "{{ let a = val.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}::{vn}\"))?;\n\
+                                 if a.len() != {arity} {{ return ::core::result::Result::Err(::serde::Error::expected(\"array of {arity}\", \"{name}::{vn}\")); }}\n\
+                                 {name}::{vn}("
+                            );
+                            for i in 0..*arity {
+                                b.push_str(&format!(
+                                    "::serde::Deserialize::deserialize(&a[{i}])?, "
+                                ));
+                            }
+                            b.push_str(") }");
+                            b
+                        };
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => return ::core::result::Result::Ok({build}),\n"
+                        ));
+                    }
+                }
+            }
+            let val_bind = if tagged_arms.is_empty() { "_" } else { "val" };
+            format!(
+                "if let ::core::option::Option::Some(s) = v.as_str() {{\n\
+                     match s {{\n{unit_arms}\
+                     _ => return ::core::result::Result::Err(::serde::Error::unknown_variant(s, \"{name}\")),\n}}\n\
+                 }}\n\
+                 if let ::core::option::Option::Some(m) = v.as_object() {{\n\
+                     if let ::core::option::Option::Some((tag, {val_bind})) = m.single_entry() {{\n\
+                         match tag {{\n{tagged_arms}\
+                         _ => return ::core::result::Result::Err(::serde::Error::unknown_variant(tag, \"{name}\")),\n}}\n\
+                     }}\n\
+                 }}\n\
+                 ::core::result::Result::Err(::serde::Error::expected(\"enum {name}\", \"{name}\"))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -1,0 +1,453 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The vendored `serde` shim already defines the data model ([`Value`],
+//! [`Map`], [`Number`], [`Error`]); this crate adds the JSON *text* format
+//! on top: a writer (compact and pretty), a recursive-descent parser, the
+//! `to_*`/`from_str` entry points and the [`json!`] macro, covering exactly
+//! the API surface this workspace uses.
+//!
+//! One deliberate divergence from real serde_json: non-finite floats are
+//! written as the strings `"inf"` / `"-inf"` / `"nan"` (and parsed back by
+//! the shim's `f64::deserialize`) instead of degrading to `null`.
+
+use std::fmt::Write as _;
+use std::io;
+
+pub use serde::{Error, Map, Number, Value};
+
+/// Result alias matching real serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Convert any serialisable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.serialize())
+}
+
+/// Rebuild a deserialisable value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    T::deserialize(value)
+}
+
+/// Serialise to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), None, 0);
+    Ok(out)
+}
+
+/// Serialise to a human-readable JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serialise compactly into an [`io::Write`] sink.
+pub fn to_writer<W: io::Write, T: serde::Serialize>(mut writer: W, value: &T) -> Result<()> {
+    let s = to_string(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error::custom(format!("write failed: {e}")))
+}
+
+/// Parse a JSON document into any deserialisable value.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value(s)?;
+    T::deserialize(&value)
+}
+
+/// Build a [`Value`] inline. Supports flat `{"key": expr, ...}` objects,
+/// `[expr, ...]` arrays, `null`, and any serialisable expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $(
+            m.insert(
+                ::std::string::String::from($key),
+                $crate::to_value(&$value).expect("json! value"),
+            );
+        )*
+        $crate::Value::Object(m)
+    }};
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![
+            $( $crate::to_value(&$value).expect("json! value") ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other).expect("json! value") };
+}
+
+// --- Writer ----------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..(width * depth) {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::U64(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::I64(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::F64(f) if f.is_nan() => out.push_str("\"nan\""),
+        Number::F64(f) if f == f64::INFINITY => out.push_str("\"inf\""),
+        Number::F64(f) if f == f64::NEG_INFINITY => out.push_str("\"-inf\""),
+        Number::F64(f) => {
+            // `{}` on f64 prints the shortest representation that parses
+            // back exactly; whole floats re-read as integer Numbers, which
+            // `f64::deserialize` accepts.
+            let _ = write!(out, "{f}");
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --- Parser ----------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parse a complete JSON document (rejecting trailing garbage).
+fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(Error::custom(format!("invalid token at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(Error::custom("unexpected end of input")),
+            Some(b'n') => self.eat_keyword("null", Value::Null),
+            Some(b't') => self.eat_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(Error::custom(format!(
+                "unexpected character `{}` at byte {}",
+                c as char, self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::custom(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.eat(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::custom(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::custom("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::custom("bad \\u escape"))?;
+                            // Surrogate pairs are not produced by this
+                            // workspace's writer; reject rather than mangle.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| Error::custom("\\u escape outside BMP"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::custom("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one full UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        let n = if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                Number::U64(u)
+            } else if let Ok(i) = text.parse::<i64>() {
+                Number::I64(i)
+            } else {
+                Number::F64(
+                    text.parse::<f64>()
+                        .map_err(|_| Error::custom(format!("bad number `{text}`")))?,
+                )
+            }
+        } else {
+            Number::F64(
+                text.parse::<f64>()
+                    .map_err(|_| Error::custom(format!("bad number `{text}`")))?,
+            )
+        };
+        Ok(Value::Number(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[test]
+    fn round_trip_scalars() {
+        for src in ["null", "true", "false", "0", "-7", "3.5", "\"hi\""] {
+            let v = parse_value(src).unwrap();
+            assert_eq!(to_string(&v).unwrap(), src);
+        }
+    }
+
+    #[test]
+    fn round_trip_structures() {
+        let src = r#"{"a":[1,2,{"b":null}],"c":"x\ny"}"#;
+        let v = parse_value(src).unwrap();
+        assert_eq!(to_string(&v).unwrap(), src);
+    }
+
+    #[test]
+    fn pretty_is_reparsable() {
+        let v = json!({"k": [1, 2, 3], "s": "v"});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!("7"), Value::String("7".into()));
+        let obj = json!({"a": 1u64, "b": 2.5});
+        assert_eq!(obj["a"].as_u64(), Some(1));
+        assert_eq!(obj["b"].as_f64(), Some(2.5));
+        let arr = json!([1u64, 2u64]);
+        assert_eq!(arr[1].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        let v = (f64::INFINITY).serialize();
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "\"inf\"");
+        let back: f64 = from_str(&s).unwrap();
+        assert_eq!(back, f64::INFINITY);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("1 2").is_err());
+        assert!(parse_value("[1,]").is_err());
+    }
+}
