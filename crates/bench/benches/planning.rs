@@ -1,0 +1,60 @@
+//! Component bench: the planning hot path end to end — one region's grid
+//! search, a 64-region whole-file plan, and an on-line re-plan sweep.
+//!
+//! The tracked wall-time trajectory lives in `BENCH_planning.json`
+//! (`harl-cli bench-planning --json`); this group gives the statistically
+//! robust per-phase numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harl_bench::planning::{
+    online_setup, planning_model, single_region_records, whole_file_policy, whole_file_trace,
+    PlanningScale,
+};
+use harl_core::{optimize_region, LayoutPolicy, OptimizerConfig, RegionRequests};
+use std::hint::black_box;
+
+fn planning(c: &mut Criterion) {
+    let scale = PlanningScale::quick();
+    let model = planning_model();
+    let mut group = c.benchmark_group("planning");
+    group.sample_size(10);
+
+    let records = single_region_records(scale.single_region_requests);
+    let reqs = RegionRequests::new(&records, 0);
+    for threads in [1usize, 4] {
+        let cfg = OptimizerConfig {
+            threads,
+            ..OptimizerConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("single_region_grid", threads),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(optimize_region(&model, &reqs, 512 * 1024, cfg))),
+        );
+    }
+
+    let (trace, file_size) = whole_file_trace(scale.regions, scale.requests_per_region);
+    for threads in [1usize, 4] {
+        let policy = whole_file_policy(file_size, scale.regions, threads);
+        group.bench_with_input(
+            BenchmarkId::new("whole_file_plan_64", threads),
+            &policy,
+            |b, policy| b.iter(|| black_box(policy.plan(&trace, file_size))),
+        );
+    }
+
+    group.bench_function("online_replan_64", |b| {
+        b.iter(|| {
+            let (mut monitor, stream) = online_setup(scale.regions, scale.online_rounds, 1);
+            let mut adaptations = 0usize;
+            for r in &stream {
+                adaptations += monitor.observe(*r).len();
+            }
+            black_box(adaptations)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, planning);
+criterion_main!(benches);

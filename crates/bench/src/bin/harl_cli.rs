@@ -10,6 +10,7 @@
 //! harl-cli inspect     <rst.json>
 //! harl-cli simulate    <trace.jsonl> <rst.json> [--hservers M] [--sservers N]
 //!                      [--metrics-out metrics.jsonl] [--trace-out trace.json]
+//! harl-cli bench-planning [--json] [--quick] [--threads T] [--out path]
 //! ```
 //!
 //! Sizes accept suffixes `K`, `M`, `G` (binary).
@@ -38,7 +39,8 @@ fn usage() -> ! {
         "usage:\n  harl-cli trace-info <trace.jsonl>\n  harl-cli plan <trace.jsonl> \
          --file-size BYTES [--hservers M] [--sservers N] [--out rst.json] [--region-size B]\n  \
          harl-cli inspect <rst.json>\n  harl-cli simulate <trace.jsonl> <rst.json> \
-         [--hservers M] [--sservers N] [--metrics-out metrics.jsonl] [--trace-out trace.json]"
+         [--hservers M] [--sservers N] [--metrics-out metrics.jsonl] [--trace-out trace.json]\n  \
+         harl-cli bench-planning [--json] [--quick] [--threads T] [--out path]"
     );
     std::process::exit(2);
 }
@@ -64,6 +66,9 @@ struct Opts {
     region_size: Option<u64>,
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    json: bool,
+    quick: bool,
+    threads: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -76,6 +81,9 @@ fn parse_opts(args: &[String]) -> Opts {
         region_size: None,
         metrics_out: None,
         trace_out: None,
+        json: false,
+        quick: false,
+        threads: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -104,6 +112,14 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--trace-out" => {
                 opts.trace_out = Some(it.next().map(PathBuf::from).unwrap_or_else(|| usage()))
+            }
+            "--json" => opts.json = true,
+            "--quick" => opts.quick = true,
+            "--threads" => {
+                opts.threads = it.next().and_then(|v| v.parse().ok());
+                if opts.threads.is_none() {
+                    usage();
+                }
             }
             "--region-size" => {
                 opts.region_size = it.next().and_then(|v| parse_size(v));
@@ -336,6 +352,47 @@ fn cmd_simulate(opts: &Opts) {
     }
 }
 
+fn cmd_bench_planning(opts: &Opts) {
+    use harl_bench::planning::{run_planning_bench, PlanningScale};
+    if !opts.positional.is_empty() {
+        usage();
+    }
+    let scale = if opts.quick {
+        PlanningScale::quick()
+    } else {
+        PlanningScale::full()
+    };
+    let threads = opts
+        .threads
+        .unwrap_or_else(|| harl_core::OptimizerConfig::default().threads);
+    let doc = run_planning_bench(scale, threads, opts.quick);
+    let phases = &doc["phases"];
+    for phase in ["single_region", "whole_file_64", "online_replan"] {
+        let p = &phases[phase];
+        let wall = p["wall_s"].as_f64().unwrap_or(0.0);
+        let cands = p["candidates"].as_f64();
+        match cands {
+            Some(c) => println!(
+                "{phase:<16} {wall:>10.4} s  {c:>10.0} candidates  {:>12.0} cands/s",
+                c / wall.max(1e-12)
+            ),
+            None => println!("{phase:<16} {wall:>10.4} s"),
+        }
+    }
+    if opts.json {
+        let path = opts
+            .out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("BENCH_planning.json"));
+        let text = serde_json::to_string_pretty(&doc).expect("serialise bench doc");
+        std::fs::write(&path, text + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("wrote {}", path.display());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -347,6 +404,7 @@ fn main() {
         "plan" => cmd_plan(&opts),
         "inspect" => cmd_inspect(&opts),
         "simulate" => cmd_simulate(&opts),
+        "bench-planning" => cmd_bench_planning(&opts),
         _ => usage(),
     }
 }

@@ -1,0 +1,283 @@
+//! Planning-path benchmark: wall-time of the Algorithm 2 hot path.
+//!
+//! The paper frames stripe-pair search precision as a cost-calculation
+//! overhead trade-off (Sec. III-F); once re-planning runs on-line behind
+//! the `OnlineMonitor`, that overhead sits on the critical path. This
+//! module times the three planning shapes the system actually executes:
+//!
+//! * `single_region` — one Algorithm 2 grid search over a uniform region
+//!   (the inner loop of everything else);
+//! * `whole_file_64` — a 64-region whole-file [`HarlPolicy::plan`] (the
+//!   off-line Analysis Phase on a multi-phase file);
+//! * `online_replan` — an [`OnlineMonitor`] stream that drifts in every
+//!   region and forces one re-plan per region.
+//!
+//! The same workload builders feed the `planning` criterion group, the
+//! `harl-cli bench-planning` command (which writes `BENCH_planning.json`)
+//! and the ci.sh smoke test, so the JSON schema cannot rot unnoticed.
+
+use harl_core::{
+    divide_regions, optimize_region, CostModelParams, HarlPolicy, LayoutPolicy, OnlineConfig,
+    OnlineMonitor, OptimizerConfig, RegionRequests, RegionStripeTable, RstEntry, Trace,
+    TraceRecord,
+};
+use harl_devices::OpKind;
+use harl_pfs::ClusterConfig;
+use harl_simcore::SimNanos;
+use serde_json::{json, Value};
+use std::time::Instant;
+
+const KB: u64 = 1024;
+
+/// Schema tag written into `BENCH_planning.json`; ci.sh greps for it.
+pub const PLANNING_SCHEMA: &str = "harl.bench.planning.v1";
+
+/// Request sizes cycled across the whole-file phases. Adjacent phases
+/// (including the cycle wrap) differ by at least 2×, so even with long
+/// uniform phases the CV jump at every boundary clears Algorithm 1's
+/// split threshold and the file divides into exactly one region per phase.
+const PHASE_SIZES: [u64; 8] = [
+    128 * KB,
+    1024 * KB,
+    192 * KB,
+    896 * KB,
+    256 * KB,
+    768 * KB,
+    320 * KB,
+    640 * KB,
+];
+
+/// Instance sizes for one benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanningScale {
+    /// Requests in the single-region phase.
+    pub single_region_requests: usize,
+    /// Regions in the whole-file phase.
+    pub regions: usize,
+    /// Requests per region in the whole-file phase.
+    pub requests_per_region: usize,
+    /// Round-robin passes over the regions in the on-line phase.
+    pub online_rounds: usize,
+}
+
+impl PlanningScale {
+    /// Seconds-scale instance for CI smoke tests.
+    pub fn quick() -> Self {
+        PlanningScale {
+            single_region_requests: 512,
+            regions: 64,
+            requests_per_region: 32,
+            online_rounds: 12,
+        }
+    }
+
+    /// The tracked-baseline instance (`BENCH_planning.json`).
+    pub fn full() -> Self {
+        PlanningScale {
+            single_region_requests: 4096,
+            regions: 64,
+            requests_per_region: 256,
+            online_rounds: 32,
+        }
+    }
+}
+
+/// The paper platform model used by every planning phase.
+pub fn planning_model() -> CostModelParams {
+    CostModelParams::from_cluster(&ClusterConfig::paper_default())
+}
+
+fn rec(offset: u64, size: u64) -> TraceRecord {
+    TraceRecord {
+        rank: 0,
+        fd: 0,
+        op: OpKind::Read,
+        offset,
+        size,
+        timestamp: SimNanos::ZERO,
+    }
+}
+
+/// A uniform 512 KiB single-region request stream.
+pub fn single_region_records(n: usize) -> Vec<TraceRecord> {
+    (0..n as u64).map(|i| rec(i * 512 * KB, 512 * KB)).collect()
+}
+
+/// A `regions`-phase trace (one uniform run per phase, sizes cycling
+/// through [`PHASE_SIZES`]) and its file size.
+pub fn whole_file_trace(regions: usize, per_region: usize) -> (Trace, u64) {
+    let mut records = Vec::with_capacity(regions * per_region);
+    let mut offset = 0u64;
+    for phase in 0..regions {
+        let size = PHASE_SIZES[phase % PHASE_SIZES.len()];
+        for i in 0..per_region as u64 {
+            records.push(rec(offset + i * size, size));
+        }
+        offset += per_region as u64 * size;
+    }
+    (Trace::from_records(records), offset)
+}
+
+/// A HARL policy sized so the whole-file trace divides into one region per
+/// phase.
+pub fn whole_file_policy(file_size: u64, regions: usize, threads: usize) -> HarlPolicy {
+    let mut policy = HarlPolicy::new(planning_model());
+    policy.division.fixed_region_size = (file_size / regions as u64).max(1);
+    policy.optimizer.threads = threads;
+    policy
+}
+
+/// An on-line monitor over a `regions`-region file planned for 512 KiB
+/// requests, plus the 128 KiB drift stream that re-plans every region.
+pub fn online_setup(
+    regions: usize,
+    rounds: usize,
+    threads: usize,
+) -> (OnlineMonitor, Vec<TraceRecord>) {
+    let region_len = 64u64 << 20;
+    let entries = (0..regions as u64)
+        .map(|i| RstEntry {
+            offset: i * region_len,
+            len: region_len,
+            h: 32 * KB,
+            s: 160 * KB,
+        })
+        .collect();
+    let rst = RegionStripeTable::new(entries);
+    let base = OnlineConfig::default();
+    let cfg = OnlineConfig {
+        // The observation window is global: size it to hold a few requests
+        // per region so round-robin drift closes windows at the same
+        // cadence regardless of region count.
+        window: regions * 4,
+        optimizer: OptimizerConfig {
+            threads,
+            ..base.optimizer
+        },
+        ..base
+    };
+    let monitor = OnlineMonitor::new(planning_model(), rst, vec![512 * KB; regions], cfg);
+    let mut stream = Vec::with_capacity(rounds * regions);
+    for round in 0..rounds as u64 {
+        for region in 0..regions as u64 {
+            let offset = region * region_len + (round * 128 * KB) % region_len;
+            stream.push(rec(offset, 128 * KB));
+        }
+    }
+    (monitor, stream)
+}
+
+/// Size of Algorithm 2's candidate grid for average request size `avg`
+/// (both server classes populated): the triangular `(h, s)` sweep plus the
+/// single-HServer extreme.
+pub fn grid_candidates(avg: u64, cfg: &OptimizerConfig) -> u64 {
+    let step = cfg.effective_step(avg.max(1));
+    let k = avg.max(step).div_ceil(step); // r_bar / step
+    (k + 1) * (k + 2) / 2 + 1
+}
+
+/// Run all three phases at the given scale and thread budget, returning
+/// the `BENCH_planning.json` document.
+pub fn run_planning_bench(scale: PlanningScale, threads: usize, quick: bool) -> Value {
+    let model = planning_model();
+
+    // Phase 1: one grid search over a uniform region.
+    let records = single_region_records(scale.single_region_requests);
+    let reqs = RegionRequests::new(&records, 0);
+    let cfg = OptimizerConfig {
+        threads,
+        ..OptimizerConfig::default()
+    };
+    let start = Instant::now();
+    let choice = optimize_region(&model, &reqs, 512 * KB, &cfg);
+    let single_wall = start.elapsed().as_secs_f64();
+    let single_cands = grid_candidates(512 * KB, &cfg);
+    assert!(choice.cost.is_finite());
+
+    // Phase 2: whole-file plan over `regions` phases.
+    let (trace, file_size) = whole_file_trace(scale.regions, scale.requests_per_region);
+    let policy = whole_file_policy(file_size, scale.regions, threads);
+    let start = Instant::now();
+    let rst = policy.plan(&trace, file_size);
+    let whole_wall = start.elapsed().as_secs_f64();
+    // Candidate totals from the same division the plan used (not timed).
+    let sorted = trace.sorted_by_offset();
+    let regions = divide_regions(&sorted, file_size, &policy.division);
+    let whole_cands: u64 = regions
+        .iter()
+        .map(|r| grid_candidates(r.avg_request_size, &policy.optimizer))
+        .sum();
+    assert!(!rst.entries().is_empty());
+
+    // Phase 3: on-line drift over every region, one re-plan each.
+    let (mut monitor, stream) = online_setup(scale.regions, scale.online_rounds, threads);
+    let start = Instant::now();
+    let mut adaptations = 0usize;
+    for r in &stream {
+        adaptations += monitor.observe(*r).len();
+    }
+    let online_wall = start.elapsed().as_secs_f64();
+
+    json!({
+        "schema": PLANNING_SCHEMA,
+        "mode": if quick { "quick" } else { "full" },
+        "threads": threads,
+        "phases": json!({
+            "single_region": json!({
+                "requests": scale.single_region_requests,
+                "wall_s": single_wall,
+                "candidates": single_cands,
+                "candidates_per_s": single_cands as f64 / single_wall.max(1e-12),
+            }),
+            "whole_file_64": json!({
+                "regions": regions.len(),
+                "requests": scale.regions * scale.requests_per_region,
+                "wall_s": whole_wall,
+                "candidates": whole_cands,
+                "candidates_per_s": whole_cands as f64 / whole_wall.max(1e-12),
+            }),
+            "online_replan": json!({
+                "requests": stream.len(),
+                "adaptations": adaptations,
+                "wall_s": online_wall,
+            }),
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_file_trace_divides_into_one_region_per_phase() {
+        let (trace, file_size) = whole_file_trace(64, 32);
+        let policy = whole_file_policy(file_size, 64, 1);
+        let sorted = trace.sorted_by_offset();
+        let regions = divide_regions(&sorted, file_size, &policy.division);
+        assert_eq!(regions.len(), 64);
+    }
+
+    #[test]
+    fn grid_candidates_matches_triangular_form() {
+        // step 4 KiB, avg 64 KiB => K = 16 => 17*18/2 + 1 = 154.
+        let cfg = OptimizerConfig {
+            step: 4 * KB,
+            max_grid_points: 128,
+            ..OptimizerConfig::default()
+        };
+        assert_eq!(grid_candidates(64 * KB, &cfg), 154);
+    }
+
+    #[test]
+    fn online_stream_drifts_every_region() {
+        let (mut monitor, stream) = online_setup(4, 12, 1);
+        let mut adapted = std::collections::HashSet::new();
+        for r in &stream {
+            for e in monitor.observe(*r) {
+                adapted.insert(e.region);
+            }
+        }
+        assert_eq!(adapted.len(), 4, "every region must re-plan once");
+    }
+}
