@@ -16,4 +16,21 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== benches compile =="
+cargo bench --workspace --no-run -q
+
+echo "== bench-planning smoke test =="
+out="$(mktemp -d)"
+cargo run --release -q -p harl-bench --bin harl-cli -- \
+    bench-planning --quick --json --out "$out/BENCH_planning.json"
+python3 - "$out/BENCH_planning.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+phases = doc["phases"]
+for phase in ("single_region", "whole_file_64", "online_replan"):
+    assert phases[phase]["wall_s"] > 0, phase
+print("bench-planning JSON schema OK")
+PY
+rm -rf "$out"
+
 echo "CI OK"

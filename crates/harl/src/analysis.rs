@@ -73,6 +73,10 @@ impl TraceSummary {
 }
 
 /// Summarise a set of records (not necessarily sorted).
+///
+/// Single pass over the records: per-rank sequentiality state lives in a
+/// hash map keyed by rank, so cost is O(records) rather than the
+/// O(records × ranks) of re-scanning the slice once per rank.
 pub fn summarize_records(records: &[TraceRecord]) -> TraceSummary {
     let mut sizes = OnlineStats::new();
     let mut bytes_read = 0;
@@ -81,7 +85,12 @@ pub fn summarize_records(records: &[TraceRecord]) -> TraceSummary {
     let mut min_size = u64::MAX;
     let mut max_size = 0;
     let mut extent = 0;
-    let mut ranks: Vec<u32> = Vec::new();
+    // Sequentiality: per rank, in record order (collection order is issue
+    // order), how often does a request continue the previous one? The map
+    // holds each rank's expected next offset (end of its last request).
+    let mut next_per_rank: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    let mut continuations = 0usize;
+    let mut pairs = 0usize;
     for r in records {
         sizes.push(r.size as f64);
         match r.op {
@@ -94,27 +103,14 @@ pub fn summarize_records(records: &[TraceRecord]) -> TraceSummary {
         min_size = min_size.min(r.size);
         max_size = max_size.max(r.size);
         extent = extent.max(r.offset + r.size);
-        if !ranks.contains(&r.rank) {
-            ranks.push(r.rank);
-        }
-    }
-
-    // Sequentiality: per rank, in record order (collection order is issue
-    // order), how often does a request continue the previous one?
-    let mut continuations = 0usize;
-    let mut pairs = 0usize;
-    for &rank in &ranks {
-        let mut prev: Option<&TraceRecord> = None;
-        for r in records.iter().filter(|r| r.rank == rank) {
-            if let Some(p) = prev {
-                pairs += 1;
-                if p.offset + p.size == r.offset {
-                    continuations += 1;
-                }
+        if let Some(next) = next_per_rank.insert(r.rank, r.offset + r.size) {
+            pairs += 1;
+            if next == r.offset {
+                continuations += 1;
             }
-            prev = Some(r);
         }
     }
+    let ranks = next_per_rank.len();
 
     TraceSummary {
         requests: records.len(),
@@ -135,7 +131,7 @@ pub fn summarize_records(records: &[TraceRecord]) -> TraceSummary {
         } else {
             continuations as f64 / pairs as f64
         },
-        ranks: ranks.len(),
+        ranks,
     }
 }
 

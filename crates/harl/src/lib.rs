@@ -35,7 +35,7 @@ pub mod trace;
 
 pub use analysis::{size_histogram, summarize, summarize_records, TraceSummary};
 pub use migration::{projected_sserver_bytes, BalanceOutcome, SpaceBalancer};
-pub use model::{case_a_params, server_loads, CostModelParams, ServerLoads};
+pub use model::{case_a_params, server_loads, server_loads_scan, CostModelParams, ServerLoads};
 pub use multiprofile::{ClassParams, MultiProfileModel, MultiProfileOptimizer};
 pub use online::{AdaptationEvent, OnlineConfig, OnlineMonitor};
 pub use optimizer::{

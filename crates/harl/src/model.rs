@@ -15,9 +15,13 @@
 //! where `s_m`/`s_n` are the largest per-server loads on HServers/SServers
 //! and `m`/`n` how many of each the request touches. The paper derives
 //! `(s_m, s_n, m, n)` through the case analysis of Figs. 4–5; we compute
-//! them *exactly* from the round-robin geometry (closed form, O(M+N)) and
-//! additionally implement the paper's case-(a) table
-//! ([`case_a_params`]) so tests can confirm the two agree on its domain.
+//! them *exactly* from the round-robin geometry in O(1) per class
+//! ([`server_loads`]): every server's load is a per-group base plus a
+//! step-function correction from the two endpoint fragments, so only the
+//! segment boundaries need case analysis, never the individual servers.
+//! The per-server scan is kept as [`server_loads_scan`] and the paper's
+//! case-(a) table as [`case_a_params`] so tests can confirm all three
+//! agree on their domains.
 
 use harl_devices::{NetworkProfile, OpKind, OpParams, StorageProfile};
 use harl_pfs::ClusterConfig;
@@ -155,6 +159,66 @@ impl CostModelParams {
 
         t_x + t_s + t_t
     }
+
+    /// Precompute the startup term `T_S` (Eq. 5) for every possible
+    /// `(m, n)` touched-server pair. The grid search evaluates millions of
+    /// requests against one model, and Eq. 5 is the only non-arithmetic
+    /// part of the cost — tabulating it turns two order-statistic
+    /// evaluations per request into one load.
+    pub fn startup_table(&self) -> StartupTable {
+        let stride = self.n + 1;
+        let build = |hp: &OpParams, sp: &OpParams| -> Vec<f64> {
+            let mut t = Vec::with_capacity((self.m + 1) * stride);
+            for m in 0..=self.m {
+                for n in 0..=self.n {
+                    t.push(Self::startup_k(hp, m).max(Self::startup_k(sp, n)));
+                }
+            }
+            t
+        };
+        StartupTable {
+            read: build(&self.h_read, &self.s_read),
+            write: build(&self.h_write, &self.s_write),
+            stride,
+        }
+    }
+
+    /// [`Self::request_cost`] with the startup term served from a
+    /// precomputed [`StartupTable`] — bit-identical results (the table
+    /// holds exactly the values Eq. 5 produces), built for the optimizer's
+    /// inner loop.
+    pub fn request_cost_with(
+        &self,
+        table: &StartupTable,
+        offset: u64,
+        size: u64,
+        op: OpKind,
+        h: u64,
+        s: u64,
+    ) -> f64 {
+        if size == 0 {
+            return 0.0;
+        }
+        let ServerLoads { s_m, m, s_n, n } = server_loads(offset, size, self.m, h, self.n, s);
+        let hp = self.h_params(op);
+        let sp = self.s_params(op);
+        let t_x = (s_m.max(s_n)) as f64 * self.t_s_per_byte;
+        let t_s = match op {
+            OpKind::Read => table.read[m * table.stride + n],
+            OpKind::Write => table.write[m * table.stride + n],
+        };
+        let t_t = (s_m as f64 * hp.beta_s_per_byte).max(s_n as f64 * sp.beta_s_per_byte);
+        t_x + t_s + t_t
+    }
+}
+
+/// Precomputed Eq. 5 startup maxima, indexed by `(m, n)` touched-server
+/// counts — see [`CostModelParams::startup_table`].
+#[derive(Debug, Clone)]
+pub struct StartupTable {
+    read: Vec<f64>,
+    write: Vec<f64>,
+    stride: usize,
 }
 
 /// The four critical parameters of the paper's case analysis.
@@ -181,12 +245,50 @@ fn bytes_below(x: u64, group: u64, base: u64, w: u64) -> u64 {
 }
 
 /// Exact `(s_m, m, s_n, n)` for a request `[offset, offset+size)` under the
-/// round-robin two-class layout — closed form over the M+N servers.
+/// round-robin two-class layout — O(1) closed form over the group geometry.
+///
+/// Bit-identical to [`server_loads_scan`] (property-tested) but independent
+/// of `M + N`, which makes every grid candidate in Algorithm 2 constant
+/// time instead of linear in the cluster size.
 ///
 /// # Panics
 /// Panics if both classes have zero capacity (`M·h + N·s == 0`) for a
 /// non-empty request.
 pub fn server_loads(
+    offset: u64,
+    size: u64,
+    m_servers: usize,
+    h: u64,
+    n_servers: usize,
+    s: u64,
+) -> ServerLoads {
+    if size == 0 {
+        return ServerLoads {
+            s_m: 0,
+            m: 0,
+            s_n: 0,
+            n: 0,
+        };
+    }
+    let group = m_servers as u64 * h + n_servers as u64 * s;
+    assert!(group > 0, "layout has no capacity (M*h + N*s == 0)");
+    let end = offset + size;
+    // One division pair per endpoint, shared by both classes.
+    let dq = end / group - offset / group;
+    let (r_o, r_e) = (offset % group, end % group);
+    let (s_m, m) = class_span_loads(dq, r_o, r_e, 0, h, m_servers);
+    let (s_n, n) = class_span_loads(dq, r_o, r_e, m_servers as u64 * h, s, n_servers);
+    ServerLoads { s_m, m, s_n, n }
+}
+
+/// Reference implementation of [`server_loads`]: the per-server scan,
+/// O(M+N) per request. Kept for cross-validation; the optimizer uses the
+/// closed form.
+///
+/// # Panics
+/// Panics if both classes have zero capacity (`M·h + N·s == 0`) for a
+/// non-empty request.
+pub fn server_loads_scan(
     offset: u64,
     size: u64,
     m_servers: usize,
@@ -228,6 +330,91 @@ pub fn server_loads(
         }
     }
     ServerLoads { s_m, m, s_n, n }
+}
+
+/// `(max_load, servers_touched)` for one server class occupying
+/// `[base0, base0 + count·w)` of each round-robin group, for a byte span
+/// crossing `dq` group boundaries with endpoint group-residues `r_o`/`r_e`
+/// — O(1).
+///
+/// Server `k` of the class holds `D + f_k(r_e) − f_k(r_o)` bytes, where
+/// `D = dq·w` is the uniform full-group contribution and
+/// `f_k(r) = clamp(r − base0 − k·w, 0, w)` is the endpoint-fragment step
+/// function: `w` for servers strictly below the fragment index `k_r`, the
+/// partial `p_r = (r − base0) mod w` at `k_r`, and `0` above it. Both
+/// endpoints therefore split the class into at most five constant-load
+/// segments, resolved by comparing the two fragment indices (endpoints
+/// outside the class span clamp to the virtual indices `−1` / `count`).
+pub(crate) fn class_span_loads(
+    dq: u64,
+    r_o: u64,
+    r_e: u64,
+    base0: u64,
+    w: u64,
+    count: usize,
+) -> (u64, usize) {
+    if w == 0 || count == 0 {
+        return (0, 0);
+    }
+    let c = count as u64;
+    // Signed 64-bit intermediates: valid for byte spans below 2^63, the
+    // same implicit domain as the scan's `offset + size` arithmetic.
+    let d = (dq * w) as i64;
+
+    // Fragment index and partial bytes of one endpoint residue, with
+    // virtual indices −1 (before the class span) and `count` (at/after it).
+    let point = |r: u64| -> (i64, i64) {
+        if r <= base0 {
+            (-1, 0)
+        } else if r >= base0 + c * w {
+            (c as i64, 0)
+        } else {
+            let q = (r - base0) / w;
+            (q as i64, (r - base0 - q * w) as i64)
+        }
+    };
+    let (k_o, p_o) = point(r_o);
+    let (k_e, p_e) = point(r_e);
+
+    // Real servers strictly between indices `a` and `b` (exclusive).
+    let between = |a: i64, b: i64| -> u64 {
+        let lo = (a + 1).max(0);
+        let hi = (b - 1).min(c as i64 - 1);
+        if hi >= lo {
+            (hi - lo + 1) as u64
+        } else {
+            0
+        }
+    };
+    let real = |k: i64| -> u64 { u64::from(k >= 0 && k < c as i64) };
+
+    // (load, how many servers hold it) — at most four segments.
+    let mut segs = [(0i64, 0u64); 4];
+    let w = w as i64;
+    if k_o < k_e {
+        segs[0] = (d, between(-1, k_o) + between(k_e, c as i64));
+        segs[1] = (d + w - p_o, real(k_o));
+        segs[2] = (d + w, between(k_o, k_e));
+        segs[3] = (d + p_e, real(k_e));
+    } else if k_o > k_e {
+        segs[0] = (d, between(-1, k_e) + between(k_o, c as i64));
+        segs[1] = (d + p_e - w, real(k_e));
+        segs[2] = (d - w, between(k_e, k_o));
+        segs[3] = (d - p_o, real(k_o));
+    } else {
+        segs[0] = (d, c - real(k_o));
+        segs[1] = (d + p_e - p_o, real(k_o));
+    }
+
+    let mut max_load = 0i64;
+    let mut touched = 0u64;
+    for &(load, n) in &segs {
+        if n > 0 && load > 0 {
+            touched += n;
+            max_load = max_load.max(load);
+        }
+    }
+    (max_load as u64, touched as usize)
 }
 
 /// The paper's Fig. 5 case-(a) table: `(s_m, s_n, m, n)` when both the

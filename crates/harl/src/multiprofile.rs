@@ -90,26 +90,14 @@ impl MultiProfileModel {
             return vec![(0, 0); self.classes.len()];
         }
         let end = offset + size;
-        let below = |x: u64, base: u64, w: u64| -> u64 {
-            if w == 0 {
-                return 0;
-            }
-            (x / group) * w + (x % group).saturating_sub(base).min(w)
-        };
+        let dq = end / group - offset / group;
+        let (r_o, r_e) = (offset % group, end % group);
         let mut out = Vec::with_capacity(self.classes.len());
         let mut base = 0u64;
         for (c, &w) in self.classes.iter().zip(widths) {
-            let mut max_load = 0;
-            let mut touched = 0;
-            for i in 0..c.count {
-                let seg = base + i as u64 * w;
-                let b = below(end, seg, w) - below(offset, seg, w);
-                if b > 0 {
-                    touched += 1;
-                    max_load = max_load.max(b);
-                }
-            }
-            out.push((max_load, touched));
+            out.push(crate::model::class_span_loads(
+                dq, r_o, r_e, base, w, c.count,
+            ));
             base += c.count as u64 * w;
         }
         out

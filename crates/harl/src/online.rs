@@ -239,9 +239,25 @@ impl OnlineMonitor {
 
     /// Close the current window: evaluate drift per region and re-plan the
     /// regions whose patience ran out.
+    ///
+    /// Drift bookkeeping is a sequential pass (it mutates per-region
+    /// state), but the expensive part — Algorithm 2 on each confirmed
+    /// region — is independent per region, so the confirmed regions are
+    /// re-planned concurrently under the [`OptimizerConfig::threads`]
+    /// budget and their results applied back in region order, keeping the
+    /// event list and the adopted table identical for every thread count.
     fn close_window(&mut self) -> Vec<AdaptationEvent> {
         self.seen_in_window = 0;
-        let mut events = Vec::new();
+        // Pass 1 (sequential, mutates monitor state): decide which regions'
+        // patience ran out and collect their re-plan inputs.
+        struct ReplanJob {
+            region: usize,
+            entry: crate::rst::RstEntry,
+            sorted: Vec<TraceRecord>,
+            observed_avg: u64,
+            planned: u64,
+        }
+        let mut jobs: Vec<ReplanJob> = Vec::new();
         for region in 0..self.regions.len() {
             let observed = {
                 let state = &self.regions[region];
@@ -275,7 +291,8 @@ impl OnlineMonitor {
                 // Keep accumulating evidence (and requests for re-planning).
                 continue;
             }
-            // Confirmed drift: re-plan this region on the observed stream.
+            // Confirmed drift: queue this region for re-planning on the
+            // observed stream.
             let entry = self.rst.entries()[region];
             let requests = std::mem::take(&mut state.window_requests);
             state.reset_window();
@@ -283,51 +300,67 @@ impl OnlineMonitor {
 
             let mut sorted = requests;
             sorted.sort_by_key(|r| r.offset);
-            let reqs = RegionRequests::new(&sorted, entry.offset);
-            let choice = crate::optimizer::optimize_region(
-                &self.model,
-                &reqs,
+            jobs.push(ReplanJob {
+                region,
+                entry,
+                sorted,
                 observed_avg,
-                &self.cfg.optimizer,
-            );
-            if (choice.h, choice.s) == (entry.h, entry.s) {
+                planned,
+            });
+        }
+
+        // Pass 2: Algorithm 2 on each confirmed region, fanned out across
+        // the thread budget (region-level; the inner grid search goes
+        // sequential whenever the outer fan-out is active).
+        let outer = self.cfg.optimizer.threads.max(1).min(jobs.len().max(1));
+        let inner = OptimizerConfig {
+            threads: if outer > 1 {
+                1
+            } else {
+                self.cfg.optimizer.threads
+            },
+            ..self.cfg.optimizer.clone()
+        };
+        let model = &self.model;
+        let outcomes = crate::optimizer::fan_out(jobs.len(), outer, |i| {
+            let job = &jobs[i];
+            let reqs = RegionRequests::new(&job.sorted, job.entry.offset);
+            let choice = crate::optimizer::optimize_region(model, &reqs, job.observed_avg, &inner);
+            // Predicted per-request saving under the new pair.
+            let old_cost =
+                reqs.cost_of(model, job.entry.h, job.entry.s, inner.max_requests_per_eval);
+            let new_cost = reqs.cost_of(model, choice.h, choice.s, inner.max_requests_per_eval);
+            (choice, old_cost, new_cost)
+        });
+
+        // Pass 3 (sequential, region order): adopt the new layouts.
+        let mut events = Vec::new();
+        for (job, (choice, old_cost, new_cost)) in jobs.iter().zip(outcomes) {
+            if (choice.h, choice.s) == (job.entry.h, job.entry.s) {
                 // Same layout still optimal; just update expectations.
-                self.planned_avg[region] = observed_avg;
+                self.planned_avg[job.region] = job.observed_avg;
                 continue;
             }
-            // Predicted per-request saving under the new pair.
-            let old_cost = reqs.cost_of(
-                &self.model,
-                entry.h,
-                entry.s,
-                self.cfg.optimizer.max_requests_per_eval,
-            );
-            let new_cost = reqs.cost_of(
-                &self.model,
-                choice.h,
-                choice.s,
-                self.cfg.optimizer.max_requests_per_eval,
-            );
-            let n = sorted.len().max(1) as f64;
+            let n = job.sorted.len().max(1) as f64;
             let event = AdaptationEvent {
-                region,
-                old: (entry.h, entry.s),
+                region: job.region,
+                old: (job.entry.h, job.entry.s),
                 new: (choice.h, choice.s),
-                observed_avg,
-                planned_avg: planned,
-                migration_bytes: entry.len,
+                observed_avg: job.observed_avg,
+                planned_avg: job.planned,
+                migration_bytes: job.entry.len,
                 saving_per_request_s: (old_cost - new_cost).max(0.0) / n,
             };
             // Adopt the new layout in the active table.
             let mut entries = self.rst.entries().to_vec();
-            entries[region].h = choice.h;
-            entries[region].s = choice.s;
+            entries[job.region].h = choice.h;
+            entries[job.region].s = choice.s;
             self.rst = RegionStripeTable::new(entries);
-            self.planned_avg[region] = observed_avg;
+            self.planned_avg[job.region] = job.observed_avg;
             if self.recorder.is_enabled() {
                 self.recorder.counter_add(
                     "harl.online.adaptations",
-                    &[("region", region.to_string())],
+                    &[("region", job.region.to_string())],
                     1,
                 );
             }
@@ -488,6 +521,49 @@ mod tests {
         let entries = m.current_rst().entries();
         assert_eq!((entries[0].h, entries[0].s), (32 * KB, 160 * KB));
         assert_eq!((entries[1].h, entries[1].s), (0, 64 * KB));
+    }
+
+    #[test]
+    fn replan_deterministic_across_thread_counts() {
+        // Both regions drift in the same window, so close_window fans the
+        // two re-plans out; the events and the adopted table must match
+        // the single-threaded run exactly.
+        let run = |threads: usize| {
+            let rst = crate::rst::RegionStripeTable::new(vec![
+                crate::rst::RstEntry {
+                    offset: 0,
+                    len: 512 << 20,
+                    h: 32 * KB,
+                    s: 160 * KB,
+                },
+                crate::rst::RstEntry {
+                    offset: 512 << 20,
+                    len: 512 << 20,
+                    h: 32 * KB,
+                    s: 160 * KB,
+                },
+            ]);
+            let mut cfg = OnlineConfig {
+                window: 64,
+                patience: 2,
+                ..OnlineConfig::default()
+            };
+            cfg.optimizer.threads = threads;
+            let mut m = OnlineMonitor::new(model(), rst, vec![512 * KB, 512 * KB], cfg);
+            let mut events = Vec::new();
+            for i in 0..512u64 {
+                events.extend(m.observe(rec((i * 128 * KB) % (256 << 20), 128 * KB)));
+                events.extend(m.observe(rec((512 << 20) + (i * 64 * KB) % (128 << 20), 64 * KB)));
+            }
+            (events, m.current_rst().entries().to_vec())
+        };
+        let (ref_events, ref_entries) = run(1);
+        assert!(!ref_events.is_empty(), "test needs at least one re-plan");
+        for threads in [2, 4] {
+            let (events, entries) = run(threads);
+            assert_eq!(events, ref_events, "events changed with {threads} threads");
+            assert_eq!(entries, ref_entries);
+        }
     }
 
     #[test]

@@ -17,9 +17,30 @@
 //!   `max_requests_per_eval` requests to bound off-line analysis time (the
 //!   paper bounds it by running off-line; the sample is deterministic).
 //!
-//! The `h` axis of the grid is searched in parallel with crossbeam scoped
-//! threads; ties break toward the lexicographically smallest `(h, s)` so
-//! results are identical no matter how many threads run.
+//! The candidate grid is chunked across `std::thread::scope` workers; ties
+//! break toward the lexicographically *largest* `(h, s)` (see
+//! [`pick_better`]: fewer stripe fragments, and the paper's Fig. 9 optima)
+//! so results are identical no matter how many threads run. Whole-file
+//! planning ([`crate::policy::HarlPolicy`]) and on-line re-planning
+//! ([`crate::online::OnlineMonitor`]) additionally fan out across
+//! *regions* under the same [`OptimizerConfig::threads`] budget (see
+//! [`fan_out`]); with more than one region in flight the inner grid search
+//! runs sequentially, so the budget is never over-subscribed.
+//!
+//! Two hot-path optimizations keep each candidate cheap without changing
+//! the result:
+//!
+//! * **weighted folding** — request cost depends on the offset only
+//!   through `offset mod group` (the layout repeats every
+//!   `M·h + N·s` bytes), so per candidate the sample collapses to unique
+//!   `(offset mod group, size, op)` keys with multiplicities; uniform
+//!   IOR-style regions fold thousands of requests into a handful of
+//!   weighted evaluations;
+//! * **monotone pruning** — per-request costs are non-negative, so a
+//!   candidate is abandoned as soon as its running sum strictly exceeds
+//!   the best cost found so far; an abandoned candidate can at best tie
+//!   the incumbent on cost and is never reported, leaving the winner (and
+//!   its exact summation order) unchanged.
 
 use crate::model::CostModelParams;
 use crate::trace::TraceRecord;
@@ -162,13 +183,25 @@ fn candidates(avg: u64, step: u64, m: usize, n: usize) -> Vec<(u64, u64)> {
 /// Run Algorithm 2 for one region.
 ///
 /// `avg_request_size` is the region's `R̄` from Algorithm 1. Returns the
-/// cheapest pair; ties break to the smallest `(h, s)`.
+/// cheapest pair; ties break to the largest `(h, s)` (see [`pick_better`]).
 pub fn optimize_region(
     model: &CostModelParams,
     requests: &RegionRequests<'_>,
     avg_request_size: u64,
     cfg: &OptimizerConfig,
 ) -> StripeChoice {
+    optimize_region_sampled(model, requests, avg_request_size, cfg).0
+}
+
+/// [`optimize_region`] that also returns how many requests the evaluation
+/// sampled, so callers that need the count (e.g. for per-request metrics)
+/// don't have to re-materialise the sample.
+fn optimize_region_sampled(
+    model: &CostModelParams,
+    requests: &RegionRequests<'_>,
+    avg_request_size: u64,
+    cfg: &OptimizerConfig,
+) -> (StripeChoice, usize) {
     assert!(cfg.step > 0, "grid step must be positive");
     let step = cfg.effective_step(avg_request_size.max(1));
     let sample = requests.sample(cfg.max_requests_per_eval);
@@ -177,16 +210,18 @@ pub fn optimize_region(
         !cands.is_empty(),
         "no stripe candidates (cluster has no servers?)"
     );
-
     // An empty region (no requests) has zero cost everywhere; fall back to
     // a balanced default: the fixed stripe at R̄ (or one step).
     if sample.is_empty() {
         let w = avg_request_size.max(step).div_ceil(step) * step;
-        return StripeChoice {
-            h: if model.m > 0 { w } else { 0 },
-            s: if model.n > 0 { w } else { 0 },
-            cost: 0.0,
-        };
+        return (
+            StripeChoice {
+                h: if model.m > 0 { w } else { 0 },
+                s: if model.n > 0 { w } else { 0 },
+                cost: 0.0,
+            },
+            0,
+        );
     }
 
     let threads = cfg.threads.max(1).min(cands.len());
@@ -209,7 +244,7 @@ pub fn optimize_region(
             .reduce(pick_better)
             .expect("at least one chunk")
     };
-    best
+    (best, sample.len())
 }
 
 /// [`optimize_region`] with observability: records the grid size searched,
@@ -226,7 +261,9 @@ pub fn optimize_region_recorded(
     region: usize,
     recorder: &dyn Recorder,
 ) -> StripeChoice {
-    let choice = optimize_region(model, requests, avg_request_size, cfg);
+    let start = std::time::Instant::now();
+    let (choice, sampled) = optimize_region_sampled(model, requests, avg_request_size, cfg);
+    let wall = start.elapsed();
     if recorder.is_enabled() {
         let labels = [("region", region.to_string())];
         let step = cfg.effective_step(avg_request_size.max(1));
@@ -238,7 +275,7 @@ pub fn optimize_region_recorded(
         recorder.gauge_set("harl.optimizer.stripe_h", &labels, choice.h as f64);
         recorder.gauge_set("harl.optimizer.stripe_s", &labels, choice.s as f64);
         recorder.observe_f64("harl.optimizer.predicted_cost_s", &labels, choice.cost);
-        let sampled = requests.sample(cfg.max_requests_per_eval).len();
+        recorder.observe_f64("harl.optimizer.plan_wall_s", &labels, wall.as_secs_f64());
         if sampled > 0 {
             recorder.observe_f64(
                 "harl.model.predicted_request_cost_s",
@@ -248,6 +285,59 @@ pub fn optimize_region_recorded(
         }
     }
     choice
+}
+
+/// A maximal strided run of the sample: `count` requests of one `size`
+/// and `op` at offsets `o0 + j·d` for `j = 0..count`.
+///
+/// Request cost depends on the offset only through `offset mod group`, and
+/// the residues of an arithmetic progression mod `G` cycle with period
+/// `P = G / gcd(d, G)` — so a run folds analytically into at most
+/// `min(P, count)` weighted cost evaluations per candidate, with exact
+/// multiplicities and no per-request work. Uniform regions are one long
+/// run; irregular samples decompose into short runs, where a length-1 run
+/// reproduces the plain per-request evaluation bit for bit.
+struct StridedRun {
+    o0: u64,
+    d: u64,
+    size: u64,
+    op: harl_devices::OpKind,
+    count: usize,
+}
+
+/// Greedy decomposition of the sample into maximal strided runs.
+fn strided_runs(sample: &[(u64, u64, harl_devices::OpKind)]) -> Vec<StridedRun> {
+    let mut runs: Vec<StridedRun> = Vec::new();
+    for &(o, r, op) in sample {
+        if let Some(run) = runs.last_mut() {
+            if run.size == r && run.op == op {
+                if run.count == 1 {
+                    run.d = o.wrapping_sub(run.o0);
+                    run.count = 2;
+                    continue;
+                }
+                if o == run.o0.wrapping_add(run.count as u64 * run.d) {
+                    run.count += 1;
+                    continue;
+                }
+            }
+        }
+        runs.push(StridedRun {
+            o0: o,
+            d: 0,
+            size: r,
+            op,
+            count: 1,
+        });
+    }
+    runs
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
 }
 
 fn best_of(
@@ -260,8 +350,39 @@ fn best_of(
         s: 0,
         cost: f64::INFINITY,
     };
-    for &(h, s) in cands {
-        let cost = region_cost(model, sample, h, s);
+    let runs = strided_runs(sample);
+    let startup = model.startup_table();
+    'cands: for &(h, s) in cands {
+        let group = model.m as u64 * h + model.n as u64 * s;
+        let mut cost = 0.0;
+        for run in &runs {
+            let d = run.d % group;
+            let period = if d == 0 {
+                1
+            } else {
+                (group / gcd(d, group)) as usize
+            };
+            let n = run.count;
+            // Residue j of the cycle appears ⌈n/P⌉ times for j < n mod P
+            // and ⌊n/P⌋ after; with P > n the first n residues appear once.
+            let (whole, extra) = (n / period, n % period);
+            let mut r = run.o0 % group;
+            for j in 0..period.min(n) {
+                let mult = if period <= n {
+                    (whole + usize::from(j < extra)) as f64
+                } else {
+                    1.0
+                };
+                cost += mult * model.request_cost_with(&startup, r, run.size, run.op, h, s);
+                if cost > best.cost {
+                    continue 'cands; // cannot win, even on the tie-break
+                }
+                r += d;
+                if r >= group {
+                    r -= group;
+                }
+            }
+        }
         best = pick_better(best, StripeChoice { h, s, cost });
     }
     best
@@ -282,6 +403,40 @@ fn pick_better(a: StripeChoice, b: StripeChoice) -> StripeChoice {
     } else {
         a
     }
+}
+
+/// Compute `f(0..count)` across up to `threads` scoped workers, returning
+/// results in index order.
+///
+/// The region-level fan-out used by [`crate::policy::HarlPolicy`] and
+/// [`crate::online::OnlineMonitor`]: regions are independent, so planning
+/// them concurrently is coarse-grained and cache-friendly. Each index
+/// writes into its own slot, so the output (and therefore the planned
+/// layout) is identical for every thread count.
+pub(crate) fn fan_out<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.max(1).min(count);
+    if workers <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let chunk = count.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (ci, slots) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(ci * chunk + j));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("fan_out worker filled every slot"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -482,6 +637,31 @@ mod tests {
         assert!(c.contains(&(64 * KB, 64 * KB + 16 * KB)), "h = R̄ evaluable");
         // s always strictly greater than h except the (R̄, 0) extreme.
         assert!(c.iter().all(|&(h, s)| s > h || s == 0));
+    }
+
+    #[test]
+    fn recorded_variant_matches_plain_and_times_the_plan() {
+        let m = model();
+        let trace = recs(64, 512 * KB, OpKind::Read);
+        let reqs = RegionRequests::new(&trace, 0);
+        let cfg = OptimizerConfig {
+            threads: 1,
+            ..OptimizerConfig::default()
+        };
+        let recorder = harl_simcore::MemoryRecorder::new();
+        let recorded = optimize_region_recorded(&m, &reqs, 512 * KB, &cfg, 3, &recorder);
+        let plain = optimize_region(&m, &reqs, 512 * KB, &cfg);
+        assert_eq!(recorded, plain);
+        let labels = [("region", "3".to_string())];
+        let wall = recorder
+            .summary_snapshot("harl.optimizer.plan_wall_s", &labels)
+            .expect("plan wall time recorded");
+        assert_eq!(wall.count(), 1);
+        assert!(wall.mean() > 0.0);
+        let per_request = recorder
+            .summary_snapshot("harl.model.predicted_request_cost_s", &labels)
+            .expect("per-request predicted cost recorded");
+        assert!((per_request.mean() - plain.cost / 64.0).abs() < 1e-12);
     }
 
     #[test]

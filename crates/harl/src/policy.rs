@@ -252,19 +252,29 @@ impl LayoutPolicy for HarlPolicy {
     fn plan(&self, trace: &Trace, file_size: u64) -> RegionStripeTable {
         let sorted = trace.sorted_by_offset();
         let regions = divide_regions(&sorted, file_size, &self.division);
-        let mut entries = Vec::with_capacity(regions.len());
-        for region in &regions {
+        // One thread budget for the whole plan: with several regions the
+        // fan-out is region-level (coarse, cache-friendly) and each region's
+        // grid search runs sequentially; a single region keeps the budget
+        // for its inner grid chunking. Either way each region's result is
+        // computed independently and lands in its own slot, so the table is
+        // identical for every thread count.
+        let outer = self.optimizer.threads.max(1).min(regions.len().max(1));
+        let inner = OptimizerConfig {
+            threads: if outer > 1 { 1 } else { self.optimizer.threads },
+            ..self.optimizer.clone()
+        };
+        let entries = crate::optimizer::fan_out(regions.len(), outer, |i| {
+            let region = &regions[i];
             let records = &sorted[region.first_request..region.last_request];
             let reqs = RegionRequests::new(records, region.offset);
-            let choice =
-                optimize_region(&self.model, &reqs, region.avg_request_size, &self.optimizer);
-            entries.push(RstEntry {
+            let choice = optimize_region(&self.model, &reqs, region.avg_request_size, &inner);
+            RstEntry {
                 offset: region.offset,
                 len: region.len(),
                 h: choice.h,
                 s: choice.s,
-            });
-        }
+            }
+        });
         let mut table = RegionStripeTable::new(entries);
         table.merge_adjacent();
         table
@@ -387,6 +397,48 @@ mod tests {
             first.h < last.h || first.s < last.s,
             "phases should get different layouts: {first:?} vs {last:?}"
         );
+    }
+
+    #[test]
+    fn harl_plan_deterministic_across_thread_counts() {
+        // Region-level fan-out must never change the planned table: a
+        // multi-phase trace (several regions) planned with 1, 2, 3 and 8
+        // threads yields bit-identical entries.
+        let mut records = Vec::new();
+        for phase in 0..8u64 {
+            let base = phase * 16 * MB;
+            let size = (phase % 4 + 1) * 128 * KB;
+            for i in 0..32u64 {
+                records.push(TraceRecord {
+                    rank: (i % 4) as u32,
+                    fd: 0,
+                    op: if phase % 2 == 0 {
+                        OpKind::Read
+                    } else {
+                        OpKind::Write
+                    },
+                    offset: base + i * size,
+                    size,
+                    timestamp: SimNanos::from_nanos(phase * 1000 + i),
+                });
+            }
+        }
+        let trace = Trace::from_records(records);
+        let file_size = 8 * 16 * MB;
+        let mut policy = HarlPolicy::new(model());
+        policy.division.fixed_region_size = 4 * MB;
+        policy.optimizer.threads = 1;
+        let reference = policy.plan(&trace, file_size);
+        assert!(reference.len() > 1, "test needs several regions");
+        for threads in [2, 3, 8] {
+            policy.optimizer.threads = threads;
+            let got = policy.plan(&trace, file_size);
+            assert_eq!(
+                got.entries(),
+                reference.entries(),
+                "plan changed with {threads} threads"
+            );
+        }
     }
 
     #[test]
