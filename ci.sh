@@ -19,6 +19,21 @@ cargo test --workspace -q
 echo "== benches compile =="
 cargo bench --workspace --no-run -q
 
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "== scenario smoke test =="
+out="$(mktemp -d)"
+cargo run --release -q -p harl-bench --bin harl-cli -- \
+    run --scenario scenarios/smoke.json --out "$out/smoke.json"
+if ! diff -u scenarios/smoke.golden.json "$out/smoke.json"; then
+    echo "scenario smoke report diverged from scenarios/smoke.golden.json" >&2
+    echo "(if the change is intentional, regenerate the golden with the command above)" >&2
+    exit 1
+fi
+echo "scenario report matches golden"
+rm -rf "$out"
+
 echo "== bench-planning smoke test =="
 out="$(mktemp -d)"
 cargo run --release -q -p harl-bench --bin harl-cli -- \

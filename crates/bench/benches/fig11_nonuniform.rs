@@ -7,6 +7,7 @@ use harl_core::{LayoutPolicy, RegionStripeTable};
 use harl_devices::OpKind;
 use harl_middleware::{collect_trace_lowered, CollectiveConfig};
 use harl_pfs::ClusterConfig;
+use harl_simcore::SimContext;
 use harl_workloads::MultiRegionIorConfig;
 use std::hint::black_box;
 
@@ -32,7 +33,7 @@ fn fig11(c: &mut Criterion) {
     let mut policy = bench_harl(&cluster);
     policy.division.fixed_region_size = 2 << 20;
     group.bench_function("region_division_and_planning", |b| {
-        b.iter(|| black_box(policy.plan(&trace, file_size)))
+        b.iter(|| black_box(policy.plan(&SimContext::new(), &trace, file_size)))
     });
     group.finish();
 }

@@ -7,6 +7,7 @@ use harl_core::{LayoutPolicy, RegionStripeTable};
 use harl_devices::OpKind;
 use harl_middleware::{collect_trace_lowered, CollectiveConfig};
 use harl_pfs::ClusterConfig;
+use harl_simcore::SimContext;
 use std::hint::black_box;
 
 fn fig7(c: &mut Criterion) {
@@ -31,7 +32,7 @@ fn fig7(c: &mut Criterion) {
     let trace = collect_trace_lowered(&cluster, &w, &CollectiveConfig::default());
     let policy = bench_harl(&cluster);
     group.bench_function("analysis_phase", |b| {
-        b.iter(|| black_box(policy.plan(&trace, 64 << 20)))
+        b.iter(|| black_box(policy.plan(&SimContext::new(), &trace, 64 << 20)))
     });
     group.finish();
 }

@@ -3,13 +3,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use harl_core::{
-    divide_regions, optimize_region, optimize_region_recorded, CostModelParams, OptimizerConfig,
-    RegionDivisionConfig, RegionRequests, TraceRecord,
+    divide_regions, optimize_region, CostModelParams, OptimizerConfig, RegionDivisionConfig,
+    RegionRequests, TraceRecord,
 };
 use harl_devices::OpKind;
 use harl_pfs::ClusterConfig;
-use harl_simcore::{NoopRecorder, SimNanos};
+use harl_simcore::{MemoryRecorder, SimContext, SimNanos};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn records(n: usize, size: u64) -> Vec<TraceRecord> {
     (0..n)
@@ -37,24 +38,26 @@ fn optimizer(c: &mut Criterion) {
             max_requests_per_eval: 256,
             ..OptimizerConfig::default()
         };
+        let ctx = SimContext::new();
         group.bench_with_input(BenchmarkId::new("grid_512K", threads), &cfg, |b, cfg| {
-            b.iter(|| black_box(optimize_region(&model, &reqs, 512 * 1024, cfg)))
+            b.iter(|| black_box(optimize_region(&ctx, &model, &reqs, 512 * 1024, cfg, 0)))
         });
-        // Same search through the instrumented entry point with the no-op
-        // recorder: must track grid_512K within noise (the observability
-        // acceptance bar — disabled instrumentation costs nothing).
+        // Same search under an enabled in-memory recorder: the instrumented
+        // path must track grid_512K within noise (the observability
+        // acceptance bar — instrumentation stays off the hot loop).
+        let recorded = SimContext::recorded(Arc::new(MemoryRecorder::new()));
         group.bench_with_input(
-            BenchmarkId::new("grid_512K_noop_recorder", threads),
+            BenchmarkId::new("grid_512K_memory_recorder", threads),
             &cfg,
             |b, cfg| {
                 b.iter(|| {
-                    black_box(optimize_region_recorded(
+                    black_box(optimize_region(
+                        &recorded,
                         &model,
                         &reqs,
                         512 * 1024,
                         cfg,
                         0,
-                        &NoopRecorder,
                     ))
                 })
             },

@@ -11,6 +11,7 @@ use harl_bench::planning::{
     PlanningScale,
 };
 use harl_core::{optimize_region, LayoutPolicy, OptimizerConfig, RegionRequests};
+use harl_simcore::SimContext;
 use std::hint::black_box;
 
 fn planning(c: &mut Criterion) {
@@ -29,7 +30,18 @@ fn planning(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("single_region_grid", threads),
             &cfg,
-            |b, cfg| b.iter(|| black_box(optimize_region(&model, &reqs, 512 * 1024, cfg))),
+            |b, cfg| {
+                b.iter(|| {
+                    black_box(optimize_region(
+                        &SimContext::new(),
+                        &model,
+                        &reqs,
+                        512 * 1024,
+                        cfg,
+                        0,
+                    ))
+                })
+            },
         );
     }
 
@@ -39,7 +51,7 @@ fn planning(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("whole_file_plan_64", threads),
             &policy,
-            |b, policy| b.iter(|| black_box(policy.plan(&trace, file_size))),
+            |b, policy| b.iter(|| black_box(policy.plan(&SimContext::new(), &trace, file_size))),
         );
     }
 

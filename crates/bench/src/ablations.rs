@@ -240,19 +240,25 @@ pub fn abl_multiapp(scale: &Scale) -> FigureResult {
     let harl = crate::harness::harl_policy(&cluster, scale);
     let plan = |w: &harl_middleware::Workload| {
         let trace = collect_trace_lowered(&cluster, w, &ccfg);
-        harl.plan(&trace, w.extent().max(1))
+        harl.plan(&crate::harness::context(), &trace, w.extent().max(1))
     };
     let rst_big = plan(&app_big);
     let rst_small = plan(&app_small);
-    let default_big = FixedPolicy::new(64 * 1024).plan(&harl_core::Trace::new(), size);
+    let default_big = FixedPolicy::new(64 * 1024).plan(
+        &crate::harness::context(),
+        &harl_core::Trace::new(),
+        size,
+    );
     let default_small = default_big.clone();
 
     let shared_default = run_shared(
+        &crate::harness::context(),
         &cluster,
         &[(&default_big, &app_big), (&default_small, &app_small)],
         &ccfg,
     );
     let shared_harl = run_shared(
+        &crate::harness::context(),
         &cluster,
         &[(&rst_big, &app_big), (&rst_small, &app_small)],
         &ccfg,
@@ -316,8 +322,9 @@ pub fn abl_straggler(scale: &Scale) -> FigureResult {
     let healthy = ClusterConfig::paper_default();
     let harl = crate::harness::harl_policy(&healthy, scale);
     let trace = collect_trace_lowered(&healthy, &w, &harl_middleware::CollectiveConfig::default());
-    let harl_rst = harl.plan(&trace, w.extent().max(1));
-    let default_rst = FixedPolicy::new(64 * 1024).plan(&trace, w.extent().max(1));
+    let harl_rst = harl.plan(&crate::harness::context(), &trace, w.extent().max(1));
+    let default_rst =
+        FixedPolicy::new(64 * 1024).plan(&crate::harness::context(), &trace, w.extent().max(1));
 
     let scenarios: Vec<(&str, ClusterConfig)> = vec![
         ("healthy", healthy.clone()),
@@ -340,6 +347,7 @@ pub fn abl_straggler(scale: &Scale) -> FigureResult {
     let mut rows = Vec::new();
     for (label, cluster) in &scenarios {
         let d = harl_middleware::run_workload(
+            &crate::harness::context(),
             cluster,
             &default_rst,
             &w,
@@ -347,6 +355,7 @@ pub fn abl_straggler(scale: &Scale) -> FigureResult {
         )
         .throughput_mib_s();
         let h = harl_middleware::run_workload(
+            &crate::harness::context(),
             cluster,
             &harl_rst,
             &w,
@@ -414,6 +423,7 @@ pub fn abl_profiles(scale: &Scale) -> FigureResult {
     );
     let reqs = harl_core::RegionRequests::new(&sorted, 0);
     let pair = harl_core::optimize_region(
+        &crate::harness::context(),
         &pair_model,
         &reqs,
         512 * 1024,
@@ -421,6 +431,7 @@ pub fn abl_profiles(scale: &Scale) -> FigureResult {
             max_requests_per_eval: scale.opt_sample,
             ..OptimizerConfig::default()
         },
+        0,
     );
 
     let layouts: Vec<(String, Vec<u64>)> = vec![
@@ -463,7 +474,7 @@ pub fn abl_profiles(scale: &Scale) -> FigureResult {
                 p
             })
             .collect();
-        let report = simulate(&cluster, &[layout], &programs);
+        let report = simulate(&crate::harness::context(), &cluster, &[layout], &programs);
         let tput = report.throughput_mib_s();
         if label == "fixed-64K" {
             baseline = tput;

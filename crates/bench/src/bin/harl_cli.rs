@@ -11,6 +11,8 @@
 //! harl-cli simulate    <trace.jsonl> <rst.json> [--hservers M] [--sservers N]
 //!                      [--metrics-out metrics.jsonl] [--trace-out trace.json]
 //! harl-cli bench-planning [--json] [--quick] [--threads T] [--out path]
+//! harl-cli run --scenario scenario.json [--out report.json] [--seed S]
+//!              [--threads T]
 //! ```
 //!
 //! Sizes accept suffixes `K`, `M`, `G` (binary).
@@ -26,13 +28,15 @@ use harl_core::{
     LayoutPolicy, RegionDivisionConfig, RegionStripeTable, Trace,
 };
 use harl_devices::{CalibrationConfig, OpKind};
-use harl_middleware::{run_workload_recorded, CollectiveConfig};
+use harl_middleware::{run_workload, CollectiveConfig};
 use harl_pfs::ClusterConfig;
-use harl_simcore::metrics::{MemoryRecorder, NoopRecorder, Recorder};
-use harl_simcore::ByteSize;
+use harl_repro::scenario::Scenario;
+use harl_simcore::metrics::{MemoryRecorder, Recorder};
+use harl_simcore::{ByteSize, SimContext};
 use harl_workloads::replay;
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
@@ -40,7 +44,8 @@ fn usage() -> ! {
          --file-size BYTES [--hservers M] [--sservers N] [--out rst.json] [--region-size B]\n  \
          harl-cli inspect <rst.json>\n  harl-cli simulate <trace.jsonl> <rst.json> \
          [--hservers M] [--sservers N] [--metrics-out metrics.jsonl] [--trace-out trace.json]\n  \
-         harl-cli bench-planning [--json] [--quick] [--threads T] [--out path]"
+         harl-cli bench-planning [--json] [--quick] [--threads T] [--out path]\n  \
+         harl-cli run --scenario scenario.json [--out report.json] [--seed S] [--threads T]"
     );
     std::process::exit(2);
 }
@@ -69,6 +74,8 @@ struct Opts {
     json: bool,
     quick: bool,
     threads: Option<usize>,
+    scenario: Option<PathBuf>,
+    seed: Option<u64>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -84,6 +91,8 @@ fn parse_opts(args: &[String]) -> Opts {
         json: false,
         quick: false,
         threads: None,
+        scenario: None,
+        seed: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -118,6 +127,15 @@ fn parse_opts(args: &[String]) -> Opts {
             "--threads" => {
                 opts.threads = it.next().and_then(|v| v.parse().ok());
                 if opts.threads.is_none() {
+                    usage();
+                }
+            }
+            "--scenario" => {
+                opts.scenario = Some(it.next().map(PathBuf::from).unwrap_or_else(|| usage()))
+            }
+            "--seed" => {
+                opts.seed = it.next().and_then(|v| v.parse().ok());
+                if opts.seed.is_none() {
                     usage();
                 }
             }
@@ -194,7 +212,7 @@ fn cmd_plan(opts: &Opts) {
     if let Some(rs) = opts.region_size {
         policy.division.fixed_region_size = rs;
     }
-    let rst = policy.plan(&trace, file_size);
+    let rst = policy.plan(&SimContext::new(), &trace, file_size);
     print_rst(&rst);
     if let Some(out) = &opts.out {
         rst.save_to_path(out).unwrap_or_else(|e| {
@@ -283,14 +301,18 @@ fn cmd_simulate(opts: &Opts) {
     let cluster = ClusterConfig::hybrid(opts.hservers, opts.sservers);
     let workload = replay(&trace);
     let recording = opts.metrics_out.is_some() || opts.trace_out.is_some();
-    let memory = MemoryRecorder::new();
-    let recorder: &dyn Recorder = if recording { &memory } else { &NoopRecorder };
-    let report = run_workload_recorded(
+    let memory = Arc::new(MemoryRecorder::new());
+    let ctx = if recording {
+        SimContext::recorded(memory.clone())
+    } else {
+        SimContext::new()
+    };
+    let report = run_workload(
+        &ctx,
         &cluster,
         &rst,
         &workload,
         &CollectiveConfig::default(),
-        recorder,
     );
     if recording {
         let model =
@@ -393,6 +415,45 @@ fn cmd_bench_planning(opts: &Opts) {
     }
 }
 
+fn cmd_run(opts: &Opts) {
+    if !opts.positional.is_empty() {
+        usage();
+    }
+    let Some(path) = &opts.scenario else { usage() };
+    let scenario = Scenario::from_path(path).unwrap_or_else(|e| {
+        eprintln!("cannot load scenario: {e}");
+        std::process::exit(1);
+    });
+    let mut ctx = SimContext::new();
+    if let Some(seed) = opts.seed {
+        ctx = ctx.with_seed(seed);
+    }
+    if let Some(threads) = opts.threads {
+        ctx = ctx.with_threads(threads);
+    }
+    let report = scenario.run(&ctx).unwrap_or_else(|e| {
+        eprintln!("scenario failed: {e}");
+        std::process::exit(1);
+    });
+    let json = report.to_json_pretty();
+    match &opts.out {
+        Some(out) => {
+            std::fs::write(out, json + "\n").unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", out.display());
+                std::process::exit(1);
+            });
+            println!(
+                "{}: {} regions, {:.1} MiB/s — wrote {}",
+                report.policy,
+                report.regions,
+                report.throughput_mib_s,
+                out.display()
+            );
+        }
+        None => println!("{json}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -405,6 +466,7 @@ fn main() {
         "inspect" => cmd_inspect(&opts),
         "simulate" => cmd_simulate(&opts),
         "bench-planning" => cmd_bench_planning(&opts),
+        "run" => cmd_run(&opts),
         _ => usage(),
     }
 }

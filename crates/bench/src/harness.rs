@@ -5,9 +5,10 @@ use harl_core::{
     RegionStripeTable,
 };
 use harl_devices::CalibrationConfig;
-use harl_middleware::{trace_plan_run_recorded, CollectiveConfig, Workload};
+use harl_middleware::{trace_plan_run, CollectiveConfig, Workload};
 use harl_pfs::{ClusterConfig, SimReport};
-use harl_simcore::metrics::{MemoryRecorder, NoopRecorder, Recorder};
+use harl_simcore::metrics::MemoryRecorder;
+use harl_simcore::SimContext;
 use serde::Serialize;
 use std::sync::{Arc, OnceLock};
 
@@ -22,13 +23,14 @@ pub fn install_recorder() -> Arc<MemoryRecorder> {
         .clone()
 }
 
-/// The recorder [`measure`] reports to: the installed one, or a no-op
-/// when [`install_recorder`] was never called (the default, costing one
-/// `is_enabled()` virtual call per instrumentation site).
-pub fn recorder() -> &'static dyn Recorder {
+/// The context [`measure`] runs under: carrying the installed recorder,
+/// or a plain disabled-recorder context when [`install_recorder`] was
+/// never called (the default, costing one `is_enabled()` virtual call per
+/// instrumentation site).
+pub fn context() -> SimContext {
     match GLOBAL_RECORDER.get() {
-        Some(r) => r.as_ref() as &'static dyn Recorder,
-        None => &NoopRecorder,
+        Some(r) => SimContext::recorded(r.clone()),
+        None => SimContext::new(),
     }
 }
 
@@ -109,12 +111,12 @@ pub fn measure(
     policy: &dyn LayoutPolicy,
     workload: &Workload,
 ) -> (PolicyOutcome, RegionStripeTable, SimReport) {
-    let (rst, report) = trace_plan_run_recorded(
+    let (rst, report) = trace_plan_run(
+        &context(),
         cluster,
         policy,
         workload,
         &CollectiveConfig::default(),
-        recorder(),
     );
     let first = rst.entries()[0];
     let outcome = PolicyOutcome {

@@ -22,4 +22,4 @@ pub mod support;
 
 pub use ablations::*;
 pub use figures::*;
-pub use harness::{install_recorder, recorder, PolicyOutcome, Scale};
+pub use harness::{context, install_recorder, PolicyOutcome, Scale};

@@ -23,7 +23,7 @@ use harl_core::{
 };
 use harl_devices::OpKind;
 use harl_pfs::ClusterConfig;
-use harl_simcore::SimNanos;
+use harl_simcore::{SimContext, SimNanos};
 use serde_json::{json, Value};
 use std::time::Instant;
 
@@ -104,7 +104,7 @@ pub fn single_region_records(n: usize) -> Vec<TraceRecord> {
 }
 
 /// A `regions`-phase trace (one uniform run per phase, sizes cycling
-/// through [`PHASE_SIZES`]) and its file size.
+/// through `PHASE_SIZES`) and its file size.
 pub fn whole_file_trace(regions: usize, per_region: usize) -> (Trace, u64) {
     let mut records = Vec::with_capacity(regions * per_region);
     let mut offset = 0u64;
@@ -189,7 +189,7 @@ pub fn run_planning_bench(scale: PlanningScale, threads: usize, quick: bool) -> 
         ..OptimizerConfig::default()
     };
     let start = Instant::now();
-    let choice = optimize_region(&model, &reqs, 512 * KB, &cfg);
+    let choice = optimize_region(&SimContext::new(), &model, &reqs, 512 * KB, &cfg, 0);
     let single_wall = start.elapsed().as_secs_f64();
     let single_cands = grid_candidates(512 * KB, &cfg);
     assert!(choice.cost.is_finite());
@@ -198,7 +198,7 @@ pub fn run_planning_bench(scale: PlanningScale, threads: usize, quick: bool) -> 
     let (trace, file_size) = whole_file_trace(scale.regions, scale.requests_per_region);
     let policy = whole_file_policy(file_size, scale.regions, threads);
     let start = Instant::now();
-    let rst = policy.plan(&trace, file_size);
+    let rst = policy.plan(&SimContext::new(), &trace, file_size);
     let whole_wall = start.elapsed().as_secs_f64();
     // Candidate totals from the same division the plan used (not timed).
     let sorted = trace.sorted_by_offset();

@@ -10,6 +10,7 @@ use harl_core::{CostModelParams, HarlPolicy, LayoutPolicy, OptimizerConfig, Regi
 use harl_devices::{CalibrationConfig, OpKind};
 use harl_middleware::{collect_trace_lowered, run_workload, CollectiveConfig, Workload};
 use harl_pfs::ClusterConfig;
+use harl_simcore::SimContext;
 use harl_workloads::{AccessOrder, IorConfig};
 
 /// Miniature IOR file size used by the benches.
@@ -43,11 +44,18 @@ pub fn bench_harl(cluster: &ClusterConfig) -> HarlPolicy {
 /// simulator, not the optimizer.
 pub fn plan_for(cluster: &ClusterConfig, workload: &Workload) -> RegionStripeTable {
     let trace = collect_trace_lowered(cluster, workload, &CollectiveConfig::default());
-    bench_harl(cluster).plan(&trace, workload.extent().max(1))
+    bench_harl(cluster).plan(&SimContext::new(), &trace, workload.extent().max(1))
 }
 
 /// One full simulated run; returns throughput so criterion cannot
 /// dead-code-eliminate it.
 pub fn run_once(cluster: &ClusterConfig, rst: &RegionStripeTable, workload: &Workload) -> f64 {
-    run_workload(cluster, rst, workload, &CollectiveConfig::default()).throughput_mib_s()
+    run_workload(
+        &SimContext::new(),
+        cluster,
+        rst,
+        workload,
+        &CollectiveConfig::default(),
+    )
+    .throughput_mib_s()
 }

@@ -1,0 +1,112 @@
+//! Descriptive errors for the on-disk artefacts (RST, R2F, traces).
+//!
+//! The paper's tables are persisted next to the application and reloaded
+//! at startup; a hand-edited or truncated file should fail with the file,
+//! the line, and the reason — not a bare `io::Error` or a panic deep in
+//! the parser.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Why loading a persisted table from disk failed.
+///
+/// Displays as `path:line: reason` (or `path: reason` when no line is
+/// known, e.g. for I/O errors or whole-table validation failures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadError {
+    /// The file that failed to load.
+    pub path: PathBuf,
+    /// 1-based line where the problem was detected, when known.
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl LoadError {
+    /// An error with no specific line (I/O failures, semantic validation).
+    pub fn whole_file(path: &Path, reason: impl Into<String>) -> Self {
+        LoadError {
+            path: path.to_path_buf(),
+            line: None,
+            reason: reason.into(),
+        }
+    }
+
+    /// Wrap a JSON parse error, recovering the line number from the byte
+    /// offset the parser reports (`... at byte N`).
+    pub fn from_parse(path: &Path, source: &str, err: serde::Error) -> Self {
+        let reason = err.to_string();
+        let line = byte_offset_in(&reason).map(|pos| {
+            source.as_bytes()[..pos.min(source.len())]
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count()
+                + 1
+        });
+        LoadError {
+            path: path.to_path_buf(),
+            line,
+            reason,
+        }
+    }
+}
+
+/// Extract `N` from a parser message containing `"byte N"`.
+fn byte_offset_in(msg: &str) -> Option<usize> {
+    let tail = &msg[msg.find("byte ")? + "byte ".len()..];
+    let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "{}:{line}: {}", self.path.display(), self.reason),
+            None => write!(f, "{}: {}", self.path.display(), self.reason),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Read `path` and parse it as JSON into `T`, with descriptive errors.
+pub fn read_json<T: serde::Deserialize>(path: &Path) -> Result<T, LoadError> {
+    let data = std::fs::read_to_string(path)
+        .map_err(|e| LoadError::whole_file(path, format!("cannot read file: {e}")))?;
+    serde_json::from_str(&data).map_err(|e| LoadError::from_parse(path, &data, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        let with = LoadError {
+            path: PathBuf::from("rst.json"),
+            line: Some(3),
+            reason: "bad number".into(),
+        };
+        assert_eq!(with.to_string(), "rst.json:3: bad number");
+        let without = LoadError::whole_file(Path::new("rst.json"), "regions must tile");
+        assert_eq!(without.to_string(), "rst.json: regions must tile");
+    }
+
+    #[test]
+    fn parse_errors_carry_the_line() {
+        let dir = std::env::temp_dir().join("harl-loaderr-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.json");
+        std::fs::write(&path, "{\n  \"entries\": [\n    oops\n  ]\n}").unwrap();
+        let err = read_json::<serde::Value>(&path).unwrap_err();
+        assert_eq!(err.line, Some(3), "error should point at line 3: {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_reports_path_and_reason() {
+        let err = read_json::<serde::Value>(Path::new("/nonexistent/rst.json")).unwrap_err();
+        assert!(err.line.is_none());
+        assert!(err.reason.contains("cannot read file"), "{err}");
+    }
+}

@@ -23,6 +23,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod analysis;
+pub mod errors;
 pub mod migration;
 pub mod model;
 pub mod multiprofile;
@@ -34,13 +35,12 @@ pub mod rst;
 pub mod trace;
 
 pub use analysis::{size_histogram, summarize, summarize_records, TraceSummary};
+pub use errors::LoadError;
 pub use migration::{projected_sserver_bytes, BalanceOutcome, SpaceBalancer};
 pub use model::{case_a_params, server_loads, server_loads_scan, CostModelParams, ServerLoads};
 pub use multiprofile::{ClassParams, MultiProfileModel, MultiProfileOptimizer};
 pub use online::{AdaptationEvent, OnlineConfig, OnlineMonitor};
-pub use optimizer::{
-    optimize_region, optimize_region_recorded, OptimizerConfig, RegionRequests, StripeChoice,
-};
+pub use optimizer::{optimize_region, OptimizerConfig, RegionRequests, StripeChoice};
 pub use policy::{
     FixedPolicy, HarlPolicy, LayoutPolicy, RandomPolicy, SegmentPolicy, ServerLevelPolicy,
 };

@@ -372,6 +372,7 @@ mod tests {
             })
             .collect();
         let grid = optimize_region(
+            &harl_simcore::SimContext::new(),
             &pair,
             &RegionRequests::new(&records, 0),
             512 * KB,
@@ -379,6 +380,7 @@ mod tests {
                 threads: 1,
                 ..OptimizerConfig::default()
             },
+            0,
         );
         let opt = MultiProfileOptimizer::new(MultiProfileModel::from(&pair));
         let (widths, cost) = opt.optimize(&sample(32, 512 * KB, OpKind::Read), 512 * KB);

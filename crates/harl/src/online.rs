@@ -18,10 +18,8 @@ use crate::model::CostModelParams;
 use crate::optimizer::{OptimizerConfig, RegionRequests};
 use crate::rst::RegionStripeTable;
 use crate::trace::TraceRecord;
-use harl_simcore::metrics::{NoopRecorder, Recorder};
-use harl_simcore::OnlineStats;
+use harl_simcore::{OnlineStats, SimContext};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 
 /// Monitor tuning.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -124,7 +122,7 @@ pub struct OnlineMonitor {
     cfg: OnlineConfig,
     regions: Vec<RegionState>,
     seen_in_window: usize,
-    recorder: Arc<dyn Recorder>,
+    ctx: SimContext,
 }
 
 impl std::fmt::Debug for OnlineMonitor {
@@ -167,14 +165,15 @@ impl OnlineMonitor {
             cfg,
             regions,
             seen_in_window: 0,
-            recorder: Arc::new(NoopRecorder),
+            ctx: SimContext::new(),
         }
     }
 
-    /// Attach a metrics recorder. Residuals, drift histograms and
-    /// adaptation counters are emitted through it; the default is a no-op.
-    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
-        self.recorder = recorder;
+    /// Attach a [`SimContext`]. Residuals, drift histograms and adaptation
+    /// counters are emitted through its recorder (the default context is
+    /// silent), and a context thread override caps the re-plan fan-out.
+    pub fn with_context(mut self, ctx: &SimContext) -> Self {
+        self.ctx = ctx.clone();
         self
     }
 
@@ -224,11 +223,12 @@ impl OnlineMonitor {
             state.residual.push(residual);
             state.predicted.push(predicted);
         }
-        if self.recorder.is_enabled() {
+        if self.ctx.recorder().is_enabled() {
             let labels = [("region", region.to_string())];
-            self.recorder
+            self.ctx
+                .recorder()
                 .observe_f64("harl.model.residual_s", &labels, residual);
-            self.recorder.observe(
+            self.ctx.recorder().observe(
                 "harl.model.residual_abs_ns",
                 &labels,
                 (residual.abs() * 1e9) as u64,
@@ -312,20 +312,25 @@ impl OnlineMonitor {
         // Pass 2: Algorithm 2 on each confirmed region, fanned out across
         // the thread budget (region-level; the inner grid search goes
         // sequential whenever the outer fan-out is active).
-        let outer = self.cfg.optimizer.threads.max(1).min(jobs.len().max(1));
+        let budget = self.ctx.threads_or(self.cfg.optimizer.threads);
+        let outer = budget.min(jobs.len().max(1));
         let inner = OptimizerConfig {
-            threads: if outer > 1 {
-                1
-            } else {
-                self.cfg.optimizer.threads
-            },
+            threads: if outer > 1 { 1 } else { budget },
             ..self.cfg.optimizer.clone()
         };
         let model = &self.model;
+        let ctx = &self.ctx;
         let outcomes = crate::optimizer::fan_out(jobs.len(), outer, |i| {
             let job = &jobs[i];
             let reqs = RegionRequests::new(&job.sorted, job.entry.offset);
-            let choice = crate::optimizer::optimize_region(model, &reqs, job.observed_avg, &inner);
+            let choice = crate::optimizer::optimize_region(
+                ctx,
+                model,
+                &reqs,
+                job.observed_avg,
+                &inner,
+                job.region,
+            );
             // Predicted per-request saving under the new pair.
             let old_cost =
                 reqs.cost_of(model, job.entry.h, job.entry.s, inner.max_requests_per_eval);
@@ -357,8 +362,8 @@ impl OnlineMonitor {
             entries[job.region].s = choice.s;
             self.rst = RegionStripeTable::new(entries);
             self.planned_avg[job.region] = job.observed_avg;
-            if self.recorder.is_enabled() {
-                self.recorder.counter_add(
+            if self.ctx.recorder().is_enabled() {
+                self.ctx.recorder().counter_add(
                     "harl.online.adaptations",
                     &[("region", job.region.to_string())],
                     1,
@@ -573,7 +578,7 @@ mod tests {
         // initial layout is suboptimal for it and the served latencies are
         // far above prediction — only the residual path can catch this.
         let rst = RegionStripeTable::single(1 << 30, 32 * KB, 160 * KB);
-        let recorder = Arc::new(MemoryRecorder::new());
+        let recorder = std::sync::Arc::new(MemoryRecorder::new());
         let mut m = OnlineMonitor::new(
             model(),
             rst,
@@ -584,7 +589,7 @@ mod tests {
                 ..OnlineConfig::default()
             },
         )
-        .with_recorder(recorder.clone());
+        .with_context(&SimContext::recorded(recorder.clone()));
         let mut events = Vec::new();
         for i in 0..128u64 {
             events.extend(m.observe_served(rec((i * 128 * KB) % (1 << 30), 128 * KB), 0.5));

@@ -19,12 +19,12 @@
 //!
 //! The candidate grid is chunked across `std::thread::scope` workers; ties
 //! break toward the lexicographically *largest* `(h, s)` (see
-//! [`pick_better`]: fewer stripe fragments, and the paper's Fig. 9 optima)
+//! `pick_better`: fewer stripe fragments, and the paper's Fig. 9 optima)
 //! so results are identical no matter how many threads run. Whole-file
 //! planning ([`crate::policy::HarlPolicy`]) and on-line re-planning
 //! ([`crate::online::OnlineMonitor`]) additionally fan out across
 //! *regions* under the same [`OptimizerConfig::threads`] budget (see
-//! [`fan_out`]); with more than one region in flight the inner grid search
+//! `fan_out`); with more than one region in flight the inner grid search
 //! runs sequentially, so the budget is never over-subscribed.
 //!
 //! Two hot-path optimizations keep each candidate cheap without changing
@@ -44,7 +44,7 @@
 
 use crate::model::CostModelParams;
 use crate::trace::TraceRecord;
-use harl_simcore::metrics::Recorder;
+use harl_simcore::SimContext;
 use serde::{Deserialize, Serialize};
 
 /// Optimizer tuning.
@@ -183,14 +183,49 @@ fn candidates(avg: u64, step: u64, m: usize, n: usize) -> Vec<(u64, u64)> {
 /// Run Algorithm 2 for one region.
 ///
 /// `avg_request_size` is the region's `R̄` from Algorithm 1. Returns the
-/// cheapest pair; ties break to the largest `(h, s)` (see [`pick_better`]).
+/// cheapest pair; ties break to the largest `(h, s)` (see `pick_better`).
+///
+/// When the context's recorder is enabled, the search additionally records
+/// the grid size searched, the winning pair and its predicted cost under
+/// the `region` label (`harl.optimizer.*`). The per-request predicted cost
+/// (`harl.model.predicted_request_cost_s`) is the "predicted" side of the
+/// model-drift residual tracked by [`crate::online::OnlineMonitor`].
+/// Callers that plan a single region (baseline policies, benches) pass
+/// `region = 0`.
 pub fn optimize_region(
+    ctx: &SimContext,
     model: &CostModelParams,
     requests: &RegionRequests<'_>,
     avg_request_size: u64,
     cfg: &OptimizerConfig,
+    region: usize,
 ) -> StripeChoice {
-    optimize_region_sampled(model, requests, avg_request_size, cfg).0
+    let recorder = ctx.recorder();
+    if !recorder.is_enabled() {
+        return optimize_region_sampled(model, requests, avg_request_size, cfg).0;
+    }
+    let start = std::time::Instant::now();
+    let (choice, sampled) = optimize_region_sampled(model, requests, avg_request_size, cfg);
+    let wall = start.elapsed();
+    let labels = [("region", region.to_string())];
+    let step = cfg.effective_step(avg_request_size.max(1));
+    recorder.counter_add(
+        "harl.optimizer.candidates",
+        &labels,
+        candidates(avg_request_size, step, model.m, model.n).len() as u64,
+    );
+    recorder.gauge_set("harl.optimizer.stripe_h", &labels, choice.h as f64);
+    recorder.gauge_set("harl.optimizer.stripe_s", &labels, choice.s as f64);
+    recorder.observe_f64("harl.optimizer.predicted_cost_s", &labels, choice.cost);
+    recorder.observe_f64("harl.optimizer.plan_wall_s", &labels, wall.as_secs_f64());
+    if sampled > 0 {
+        recorder.observe_f64(
+            "harl.model.predicted_request_cost_s",
+            &labels,
+            choice.cost / sampled as f64,
+        );
+    }
+    choice
 }
 
 /// [`optimize_region`] that also returns how many requests the evaluation
@@ -245,46 +280,6 @@ fn optimize_region_sampled(
             .expect("at least one chunk")
     };
     (best, sample.len())
-}
-
-/// [`optimize_region`] with observability: records the grid size searched,
-/// the winning pair, and its predicted cost for `region` into `recorder`.
-///
-/// The per-request predicted cost
-/// (`harl.model.predicted_request_cost_s`) is the "predicted" side of the
-/// model-drift residual tracked by [`crate::online::OnlineMonitor`].
-pub fn optimize_region_recorded(
-    model: &CostModelParams,
-    requests: &RegionRequests<'_>,
-    avg_request_size: u64,
-    cfg: &OptimizerConfig,
-    region: usize,
-    recorder: &dyn Recorder,
-) -> StripeChoice {
-    let start = std::time::Instant::now();
-    let (choice, sampled) = optimize_region_sampled(model, requests, avg_request_size, cfg);
-    let wall = start.elapsed();
-    if recorder.is_enabled() {
-        let labels = [("region", region.to_string())];
-        let step = cfg.effective_step(avg_request_size.max(1));
-        recorder.counter_add(
-            "harl.optimizer.candidates",
-            &labels,
-            candidates(avg_request_size, step, model.m, model.n).len() as u64,
-        );
-        recorder.gauge_set("harl.optimizer.stripe_h", &labels, choice.h as f64);
-        recorder.gauge_set("harl.optimizer.stripe_s", &labels, choice.s as f64);
-        recorder.observe_f64("harl.optimizer.predicted_cost_s", &labels, choice.cost);
-        recorder.observe_f64("harl.optimizer.plan_wall_s", &labels, wall.as_secs_f64());
-        if sampled > 0 {
-            recorder.observe_f64(
-                "harl.model.predicted_request_cost_s",
-                &labels,
-                choice.cost / sampled as f64,
-            );
-        }
-    }
-    choice
 }
 
 /// A maximal strided run of the sample: `count` requests of one `size`
@@ -476,7 +471,7 @@ mod tests {
             threads: 2,
             ..OptimizerConfig::default()
         };
-        let choice = optimize_region(&m, &reqs, 512 * KB, &cfg);
+        let choice = optimize_region(&SimContext::new(), &m, &reqs, 512 * KB, &cfg, 0);
         assert!(
             choice.h > 0 && choice.h <= 64 * KB,
             "h = {} out of expected band",
@@ -496,7 +491,14 @@ mod tests {
         let m = model();
         let trace = recs(64, 128 * KB, OpKind::Read);
         let reqs = RegionRequests::new(&trace, 0);
-        let choice = optimize_region(&m, &reqs, 128 * KB, &OptimizerConfig::default());
+        let choice = optimize_region(
+            &SimContext::new(),
+            &m,
+            &reqs,
+            128 * KB,
+            &OptimizerConfig::default(),
+            0,
+        );
         assert_eq!(choice.h, 0, "expected SServer-only, got {choice:?}");
         assert_eq!(choice.s, 64 * KB);
     }
@@ -507,16 +509,20 @@ mod tests {
         let reads = recs(64, 512 * KB, OpKind::Read);
         let writes = recs(64, 512 * KB, OpKind::Write);
         let r = optimize_region(
+            &SimContext::new(),
             &m,
             &RegionRequests::new(&reads, 0),
             512 * KB,
             &OptimizerConfig::default(),
+            0,
         );
         let w = optimize_region(
+            &SimContext::new(),
             &m,
             &RegionRequests::new(&writes, 0),
             512 * KB,
             &OptimizerConfig::default(),
+            0,
         );
         // SServer writes are slower, so the write optimum shifts load back
         // toward HServers (s_w <= s_r) — as in the paper ({36K,148K} vs
@@ -532,6 +538,7 @@ mod tests {
         let reqs = RegionRequests::new(&trace, 0);
         let base = OptimizerConfig::default();
         let c1 = optimize_region(
+            &SimContext::new(),
             &m,
             &reqs,
             512 * KB,
@@ -539,8 +546,16 @@ mod tests {
                 threads: 1,
                 ..base.clone()
             },
+            0,
         );
-        let c8 = optimize_region(&m, &reqs, 512 * KB, &OptimizerConfig { threads: 8, ..base });
+        let c8 = optimize_region(
+            &SimContext::new(),
+            &m,
+            &reqs,
+            512 * KB,
+            &OptimizerConfig { threads: 8, ..base },
+            0,
+        );
         assert_eq!(c1.h, c8.h);
         assert_eq!(c1.s, c8.s);
         assert_eq!(c1.cost, c8.cost);
@@ -559,7 +574,7 @@ mod tests {
             max_requests_per_eval: 16,
             threads: 1,
         };
-        let choice = optimize_region(&m, &reqs, 64 * KB, &cfg);
+        let choice = optimize_region(&SimContext::new(), &m, &reqs, 64 * KB, &cfg, 0);
         let sample: Vec<_> = trace.iter().map(|r| (r.offset, r.size, r.op)).collect();
         for (h, s) in candidates(64 * KB, 16 * KB, m.m, m.n) {
             let c = region_cost(&m, &sample, h, s);
@@ -584,16 +599,20 @@ mod tests {
             })
             .collect();
         let a = optimize_region(
+            &SimContext::new(),
             &m,
             &RegionRequests::new(&base, 0),
             256 * KB,
             &OptimizerConfig::default(),
+            0,
         );
         let b = optimize_region(
+            &SimContext::new(),
             &m,
             &RegionRequests::new(&shifted, 512 * 1024 * 1024),
             256 * KB,
             &OptimizerConfig::default(),
+            0,
         );
         assert_eq!((a.h, a.s), (b.h, b.s));
         assert!((a.cost - b.cost).abs() < 1e-12);
@@ -603,7 +622,14 @@ mod tests {
     fn empty_region_gets_balanced_default() {
         let m = model();
         let reqs = RegionRequests::new(&[], 0);
-        let choice = optimize_region(&m, &reqs, 128 * KB, &OptimizerConfig::default());
+        let choice = optimize_region(
+            &SimContext::new(),
+            &m,
+            &reqs,
+            128 * KB,
+            &OptimizerConfig::default(),
+            0,
+        );
         assert_eq!(choice.h, 128 * KB);
         assert_eq!(choice.s, 128 * KB);
         assert_eq!(choice.cost, 0.0);
@@ -624,8 +650,8 @@ mod tests {
             threads: 1,
             ..OptimizerConfig::default()
         };
-        let a = optimize_region(&m, &reqs, 512 * KB, &full);
-        let b = optimize_region(&m, &reqs, 512 * KB, &sampled);
+        let a = optimize_region(&SimContext::new(), &m, &reqs, 512 * KB, &full, 0);
+        let b = optimize_region(&SimContext::new(), &m, &reqs, 512 * KB, &sampled, 0);
         assert_eq!((a.h, a.s), (b.h, b.s), "uniform workload: same optimum");
     }
 
@@ -640,7 +666,7 @@ mod tests {
     }
 
     #[test]
-    fn recorded_variant_matches_plain_and_times_the_plan() {
+    fn recorded_context_matches_plain_and_times_the_plan() {
         let m = model();
         let trace = recs(64, 512 * KB, OpKind::Read);
         let reqs = RegionRequests::new(&trace, 0);
@@ -648,9 +674,10 @@ mod tests {
             threads: 1,
             ..OptimizerConfig::default()
         };
-        let recorder = harl_simcore::MemoryRecorder::new();
-        let recorded = optimize_region_recorded(&m, &reqs, 512 * KB, &cfg, 3, &recorder);
-        let plain = optimize_region(&m, &reqs, 512 * KB, &cfg);
+        let recorder = std::sync::Arc::new(harl_simcore::MemoryRecorder::new());
+        let ctx = SimContext::recorded(recorder.clone());
+        let recorded = optimize_region(&ctx, &m, &reqs, 512 * KB, &cfg, 3);
+        let plain = optimize_region(&SimContext::new(), &m, &reqs, 512 * KB, &cfg, 0);
         assert_eq!(recorded, plain);
         let labels = [("region", "3".to_string())];
         let wall = recorder
@@ -675,7 +702,14 @@ mod tests {
         );
         let trace = recs(16, 256 * KB, OpKind::Read);
         let reqs = RegionRequests::new(&trace, 0);
-        let choice = optimize_region(&m, &reqs, 256 * KB, &OptimizerConfig::default());
+        let choice = optimize_region(
+            &SimContext::new(),
+            &m,
+            &reqs,
+            256 * KB,
+            &OptimizerConfig::default(),
+            0,
+        );
         assert!(choice.h > 0);
         assert!(choice.cost.is_finite());
     }

@@ -19,13 +19,17 @@ use crate::optimizer::{optimize_region, OptimizerConfig, RegionRequests, StripeC
 use crate::region::{divide_regions, RegionDivisionConfig};
 use crate::rst::{RegionStripeTable, RstEntry};
 use crate::trace::Trace;
-use harl_simcore::SimRng;
+use harl_simcore::{SimContext, SimRng};
 use serde::{Deserialize, Serialize};
 
 /// A data-layout policy: produces the RST describing a file's placement.
 pub trait LayoutPolicy {
     /// Decide the layout for a file of `file_size` bytes given its trace.
-    fn plan(&self, trace: &Trace, file_size: u64) -> RegionStripeTable;
+    ///
+    /// The [`SimContext`] supplies the metrics recorder for the planner's
+    /// instrumentation and (when set) the thread-budget override applied
+    /// on top of the policy's own [`OptimizerConfig::threads`].
+    fn plan(&self, ctx: &SimContext, trace: &Trace, file_size: u64) -> RegionStripeTable;
 
     /// Short label for reports ("64K", "random#1", "HARL", …).
     fn label(&self) -> String;
@@ -47,7 +51,7 @@ impl FixedPolicy {
 }
 
 impl LayoutPolicy for FixedPolicy {
-    fn plan(&self, _trace: &Trace, file_size: u64) -> RegionStripeTable {
+    fn plan(&self, _ctx: &SimContext, _trace: &Trace, file_size: u64) -> RegionStripeTable {
         RegionStripeTable::single(file_size, self.stripe, self.stripe)
     }
 
@@ -95,7 +99,7 @@ impl RandomPolicy {
 }
 
 impl LayoutPolicy for RandomPolicy {
-    fn plan(&self, _trace: &Trace, file_size: u64) -> RegionStripeTable {
+    fn plan(&self, _ctx: &SimContext, _trace: &Trace, file_size: u64) -> RegionStripeTable {
         let (h, s) = self.draw();
         RegionStripeTable::single(file_size, h, s)
     }
@@ -120,7 +124,7 @@ pub struct SegmentPolicy {
 }
 
 impl LayoutPolicy for SegmentPolicy {
-    fn plan(&self, trace: &Trace, file_size: u64) -> RegionStripeTable {
+    fn plan(&self, _ctx: &SimContext, trace: &Trace, file_size: u64) -> RegionStripeTable {
         let sorted = trace.sorted_by_offset();
         let mut entries = Vec::new();
         let mut offset = 0u64;
@@ -208,7 +212,7 @@ impl ServerLevelPolicy {
 }
 
 impl LayoutPolicy for ServerLevelPolicy {
-    fn plan(&self, trace: &Trace, file_size: u64) -> RegionStripeTable {
+    fn plan(&self, ctx: &SimContext, trace: &Trace, file_size: u64) -> RegionStripeTable {
         let sorted = trace.sorted_by_offset();
         let avg = if sorted.is_empty() {
             64 * 1024
@@ -216,7 +220,11 @@ impl LayoutPolicy for ServerLevelPolicy {
             (sorted.iter().map(|r| r.size).sum::<u64>() / sorted.len() as u64).max(1)
         };
         let reqs = RegionRequests::new(&sorted, 0);
-        let choice = optimize_region(&self.model, &reqs, avg, &self.optimizer);
+        let cfg = OptimizerConfig {
+            threads: ctx.threads_or(self.optimizer.threads),
+            ..self.optimizer.clone()
+        };
+        let choice = optimize_region(ctx, &self.model, &reqs, avg, &cfg, 0);
         RegionStripeTable::single(file_size, choice.h, choice.s)
     }
 
@@ -249,25 +257,28 @@ impl HarlPolicy {
 }
 
 impl LayoutPolicy for HarlPolicy {
-    fn plan(&self, trace: &Trace, file_size: u64) -> RegionStripeTable {
+    fn plan(&self, ctx: &SimContext, trace: &Trace, file_size: u64) -> RegionStripeTable {
         let sorted = trace.sorted_by_offset();
         let regions = divide_regions(&sorted, file_size, &self.division);
-        // One thread budget for the whole plan: with several regions the
-        // fan-out is region-level (coarse, cache-friendly) and each region's
-        // grid search runs sequentially; a single region keeps the budget
-        // for its inner grid chunking. Either way each region's result is
+        // One thread budget for the whole plan (the context override, else
+        // the policy's own config): with several regions the fan-out is
+        // region-level (coarse, cache-friendly) and each region's grid
+        // search runs sequentially; a single region keeps the budget for
+        // its inner grid chunking. Either way each region's result is
         // computed independently and lands in its own slot, so the table is
         // identical for every thread count.
-        let outer = self.optimizer.threads.max(1).min(regions.len().max(1));
+        let budget = ctx.threads_or(self.optimizer.threads);
+        let outer = budget.min(regions.len().max(1));
         let inner = OptimizerConfig {
-            threads: if outer > 1 { 1 } else { self.optimizer.threads },
+            threads: if outer > 1 { 1 } else { budget },
             ..self.optimizer.clone()
         };
         let entries = crate::optimizer::fan_out(regions.len(), outer, |i| {
             let region = &regions[i];
             let records = &sorted[region.first_request..region.last_request];
             let reqs = RegionRequests::new(records, region.offset);
-            let choice = optimize_region(&self.model, &reqs, region.avg_request_size, &inner);
+            let choice =
+                optimize_region(ctx, &self.model, &reqs, region.avg_request_size, &inner, i);
             RstEntry {
                 offset: region.offset,
                 len: region.len(),
@@ -318,7 +329,7 @@ mod tests {
     #[test]
     fn fixed_policy_single_region() {
         let t = uniform_trace(8, 512 * KB, OpKind::Read);
-        let rst = FixedPolicy::new(64 * KB).plan(&t, 16 * MB);
+        let rst = FixedPolicy::new(64 * KB).plan(&SimContext::new(), &t, 16 * MB);
         assert_eq!(rst.len(), 1);
         assert_eq!(rst.entries()[0].h, 64 * KB);
         assert_eq!(rst.entries()[0].s, 64 * KB);
@@ -328,10 +339,10 @@ mod tests {
     #[test]
     fn random_policy_is_deterministic_per_seed() {
         let t = Trace::new();
-        let a = RandomPolicy::new(7).plan(&t, MB);
-        let b = RandomPolicy::new(7).plan(&t, MB);
+        let a = RandomPolicy::new(7).plan(&SimContext::new(), &t, MB);
+        let b = RandomPolicy::new(7).plan(&SimContext::new(), &t, MB);
         assert_eq!(a, b);
-        let c = RandomPolicy::new(8).plan(&t, MB);
+        let c = RandomPolicy::new(8).plan(&SimContext::new(), &t, MB);
         assert!(
             a.entries()[0].h != c.entries()[0].h || a.entries()[0].s != c.entries()[0].s,
             "different seeds should (almost surely) differ"
@@ -353,7 +364,7 @@ mod tests {
     fn harl_uniform_workload_yields_one_region() {
         let t = uniform_trace(128, 512 * KB, OpKind::Read);
         let policy = HarlPolicy::new(model());
-        let rst = policy.plan(&t, 128 * 512 * KB);
+        let rst = policy.plan(&SimContext::new(), &t, 128 * 512 * KB);
         assert_eq!(rst.len(), 1, "uniform workload should merge to 1 region");
         let e = rst.entries()[0];
         assert!(e.s > e.h, "SServers must get the larger stripe");
@@ -387,7 +398,7 @@ mod tests {
         let file_size = boundary + 64 * MB;
         let mut policy = HarlPolicy::new(model());
         policy.division.fixed_region_size = 4 * MB;
-        let rst = policy.plan(&Trace::from_records(records), file_size);
+        let rst = policy.plan(&SimContext::new(), &Trace::from_records(records), file_size);
         assert!(rst.len() >= 2, "expected per-phase regions, got {rst:?}");
         // The small-request phase should leans toward SServers more than
         // the large-request phase (smaller or zero h).
@@ -428,11 +439,11 @@ mod tests {
         let mut policy = HarlPolicy::new(model());
         policy.division.fixed_region_size = 4 * MB;
         policy.optimizer.threads = 1;
-        let reference = policy.plan(&trace, file_size);
+        let reference = policy.plan(&SimContext::new(), &trace, file_size);
         assert!(reference.len() > 1, "test needs several regions");
         for threads in [2, 3, 8] {
             policy.optimizer.threads = threads;
-            let got = policy.plan(&trace, file_size);
+            let got = policy.plan(&SimContext::new(), &trace, file_size);
             assert_eq!(
                 got.entries(),
                 reference.entries(),
@@ -448,7 +459,7 @@ mod tests {
         let m = model();
         let t = uniform_trace(64, 512 * KB, OpKind::Read);
         let file_size = 64 * 512 * KB;
-        let harl = HarlPolicy::new(m.clone()).plan(&t, file_size);
+        let harl = HarlPolicy::new(m.clone()).plan(&SimContext::new(), &t, file_size);
         let he = harl.entries()[0];
         let sorted = t.sorted_by_offset();
         let harl_cost: f64 = sorted
@@ -478,7 +489,7 @@ mod tests {
                 ..OptimizerConfig::default()
             },
         };
-        let rst = policy.plan(&t, 32 * MB);
+        let rst = policy.plan(&SimContext::new(), &t, 32 * MB);
         for e in rst.entries() {
             assert_eq!(e.h, e.s, "segment-level layout is heterogeneity-blind");
         }
@@ -510,7 +521,8 @@ mod tests {
             });
         }
         let trace = Trace::from_records(records);
-        let rst = ServerLevelPolicy::new(model()).plan(&trace, boundary + 32 * MB);
+        let rst =
+            ServerLevelPolicy::new(model()).plan(&SimContext::new(), &trace, boundary + 32 * MB);
         // One region for the whole file, but stripes differ per class.
         assert_eq!(rst.len(), 1);
         let e = rst.entries()[0];

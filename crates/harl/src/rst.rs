@@ -11,6 +11,7 @@
 //!   at startup — [`RegionStripeTable::save_to_path`] /
 //!   [`RegionStripeTable::load_from_path`].
 
+use crate::errors::LoadError;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -50,24 +51,43 @@ impl RegionStripeTable {
     /// Panics if entries are empty, unsorted, overlapping, gapped, not
     /// starting at 0, or any entry has `h == 0 && s == 0` or zero length.
     pub fn new(entries: Vec<RstEntry>) -> Self {
-        assert!(!entries.is_empty(), "RST must have at least one region");
-        assert_eq!(entries[0].offset, 0, "RST must start at offset 0");
-        for e in &entries {
-            assert!(e.len > 0, "zero-length RST region at {}", e.offset);
-            assert!(
-                e.h > 0 || e.s > 0,
-                "RST region at {} has no capacity",
-                e.offset
-            );
+        Self::try_new(entries).unwrap_or_else(|reason| panic!("{reason}"))
+    }
+
+    /// Build from entries, reporting a validation failure instead of
+    /// panicking — the load path for tables read from disk.
+    pub fn try_new(entries: Vec<RstEntry>) -> Result<Self, String> {
+        if entries.is_empty() {
+            return Err("RST must have at least one region".into());
         }
-        for w in entries.windows(2) {
-            assert_eq!(
-                w[0].end(),
-                w[1].offset,
-                "RST regions must tile contiguously"
-            );
+        if entries[0].offset != 0 {
+            return Err(format!(
+                "RST must start at offset 0, first region starts at {}",
+                entries[0].offset
+            ));
         }
-        RegionStripeTable { entries }
+        for (i, e) in entries.iter().enumerate() {
+            if e.len == 0 {
+                return Err(format!("zero-length RST region at {} (row {i})", e.offset));
+            }
+            if e.h == 0 && e.s == 0 {
+                return Err(format!(
+                    "RST region at {} (row {i}) has no capacity",
+                    e.offset
+                ));
+            }
+        }
+        for (i, w) in entries.windows(2).enumerate() {
+            if w[0].end() != w[1].offset {
+                return Err(format!(
+                    "RST regions must tile contiguously: row {i} ends at {} but row {} starts at {}",
+                    w[0].end(),
+                    i + 1,
+                    w[1].offset
+                ));
+            }
+        }
+        Ok(RegionStripeTable { entries })
     }
 
     /// A single-region table covering `[0, file_size)` — what a
@@ -179,12 +199,13 @@ impl RegionStripeTable {
     }
 
     /// Load from JSON produced by [`save_to_path`](Self::save_to_path).
-    pub fn load_from_path(path: &Path) -> std::io::Result<Self> {
-        let data = std::fs::read_to_string(path)?;
-        let table: RegionStripeTable = serde_json::from_str(&data)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        // Re-validate: files on disk can be edited.
-        Ok(RegionStripeTable::new(table.entries))
+    ///
+    /// Errors carry the file, the line (for syntax errors) and the reason;
+    /// the table is re-validated because files on disk can be edited.
+    pub fn load_from_path(path: &Path) -> Result<Self, LoadError> {
+        let table: RegionStripeTable = crate::errors::read_json(path)?;
+        RegionStripeTable::try_new(table.entries)
+            .map_err(|reason| LoadError::whole_file(path, reason))
     }
 }
 
@@ -331,6 +352,56 @@ mod tests {
         let back = RegionStripeTable::load_from_path(&path).unwrap();
         assert_eq!(t, back);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_reports_file_and_line() {
+        let dir = std::env::temp_dir().join("harl-rst-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rst-malformed.json");
+        std::fs::write(&path, "{\n  \"entries\": [\n    {\"offset\": }\n  ]\n}").unwrap();
+        let err = RegionStripeTable::load_from_path(&path).unwrap_err();
+        assert_eq!(err.path, path);
+        assert_eq!(err.line, Some(3), "syntax error is on line 3: {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn edited_file_failing_validation_reports_reason() {
+        // Syntactically valid JSON whose regions leave a gap: the load
+        // path must reject it with the offending rows, not panic.
+        let dir = std::env::temp_dir().join("harl-rst-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rst-gapped.json");
+        let gapped = RegionStripeTable {
+            entries: vec![
+                RstEntry {
+                    offset: 0,
+                    len: 10,
+                    h: 1,
+                    s: 1,
+                },
+                RstEntry {
+                    offset: 20,
+                    len: 10,
+                    h: 1,
+                    s: 1,
+                },
+            ],
+        };
+        std::fs::write(&path, serde_json::to_string_pretty(&gapped).unwrap()).unwrap();
+        let err = RegionStripeTable::load_from_path(&path).unwrap_err();
+        assert!(err.reason.contains("tile contiguously"), "{err}");
+        assert!(err.reason.contains("row 0"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let err =
+            RegionStripeTable::load_from_path(Path::new("/nonexistent/rst.json")).unwrap_err();
+        assert!(err.reason.contains("cannot read file"), "{err}");
+        assert!(err.to_string().contains("/nonexistent/rst.json"));
     }
 
     #[test]

@@ -142,9 +142,25 @@ impl Trace {
         self.save(std::fs::File::create(path)?)
     }
 
-    /// Load from a file path.
-    pub fn load_from_path(path: &Path) -> std::io::Result<Self> {
-        Trace::load(std::fs::File::open(path)?)
+    /// Load from a file path; parse failures report the file, the
+    /// offending line, and the reason.
+    pub fn load_from_path(path: &Path) -> Result<Self, crate::errors::LoadError> {
+        use crate::errors::LoadError;
+        let data = std::fs::read_to_string(path)
+            .map_err(|e| LoadError::whole_file(path, format!("cannot read file: {e}")))?;
+        let mut records = Vec::new();
+        for (idx, line) in data.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec: TraceRecord = serde_json::from_str(line).map_err(|e| LoadError {
+                path: path.to_path_buf(),
+                line: Some(idx + 1),
+                reason: e.to_string(),
+            })?;
+            records.push(rec);
+        }
+        Ok(Trace { records })
     }
 }
 

@@ -8,7 +8,7 @@ use harl_core::{
 };
 use harl_devices::OpKind;
 use harl_pfs::ClusterConfig;
-use harl_simcore::SimNanos;
+use harl_simcore::{SimContext, SimNanos};
 use proptest::prelude::*;
 
 fn model() -> CostModelParams {
@@ -50,7 +50,7 @@ proptest! {
             threads: 1,
         };
         let reqs = RegionRequests::new(&records, 0);
-        let choice = optimize_region(&m, &reqs, avg, &cfg);
+        let choice = optimize_region(&SimContext::new(), &m, &reqs, avg, &cfg, 0);
 
         // Brute force over the same candidate set.
         let step = cfg.effective_step(avg);

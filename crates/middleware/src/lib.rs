@@ -27,6 +27,5 @@ pub use logical::{LogicalRequest, LogicalStep, RankProgram, Workload};
 pub use multiapp::{run_shared, AppStats, MultiAppReport};
 pub use placement::{bytes_per_server, place, PlacedFile, R2f};
 pub use runtime::{
-    collect_trace, collect_trace_lowered, run_workload, run_workload_recorded, trace_plan_run,
-    trace_plan_run_recorded, translate_workload, translate_workload_recorded,
+    collect_trace, collect_trace_lowered, run_workload, trace_plan_run, translate_workload,
 };

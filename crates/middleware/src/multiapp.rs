@@ -19,7 +19,7 @@ use crate::placement::place;
 use crate::runtime::translate_workload;
 use harl_core::RegionStripeTable;
 use harl_pfs::{simulate, ClusterConfig, FileLayout, SimReport};
-use harl_simcore::{throughput_mib_s, SimNanos};
+use harl_simcore::{throughput_mib_s, SimContext, SimNanos};
 use serde::{Deserialize, Serialize};
 
 /// Per-application outcome of a shared run.
@@ -48,6 +48,7 @@ pub struct MultiAppReport {
 /// Panics if any workload contains collective steps (see module docs) or
 /// the input is empty.
 pub fn run_shared(
+    ctx: &SimContext,
     cluster: &ClusterConfig,
     apps: &[(&RegionStripeTable, &Workload)],
     ccfg: &CollectiveConfig,
@@ -70,14 +71,14 @@ pub fn run_shared(
     let mut app_client_ranges = Vec::with_capacity(apps.len());
     for (rst, workload) in apps {
         let placed = place(cluster, rst, files.len());
-        let mut app_programs = translate_workload(cluster, &placed, workload, ccfg);
+        let mut app_programs = translate_workload(ctx, cluster, &placed, workload, ccfg);
         files.extend(placed.files);
         let start = programs.len();
         programs.append(&mut app_programs);
         app_client_ranges.push(start..programs.len());
     }
 
-    let combined = simulate(cluster, &files, &programs);
+    let combined = simulate(ctx, cluster, &files, &programs);
 
     let per_app = apps
         .iter()
@@ -134,6 +135,7 @@ mod tests {
         let rst_a = RegionStripeTable::single(32 * MB, 32 * KB, 160 * KB);
         let rst_b = RegionStripeTable::single(16 * MB, 0, 64 * KB);
         let report = run_shared(
+            &SimContext::new(),
             &cluster,
             &[(&rst_a, &a), (&rst_b, &b)],
             &CollectiveConfig::default(),
@@ -151,8 +153,13 @@ mod tests {
         let a = ior_like(8, 512 * KB, 64 * MB, OpKind::Read);
         let rst = RegionStripeTable::single(64 * MB, 64 * KB, 64 * KB);
         let ccfg = CollectiveConfig::default();
-        let alone = run_shared(&cluster, &[(&rst, &a)], &ccfg);
-        let shared = run_shared(&cluster, &[(&rst, &a), (&rst, &a)], &ccfg);
+        let alone = run_shared(&SimContext::new(), &cluster, &[(&rst, &a)], &ccfg);
+        let shared = run_shared(
+            &SimContext::new(),
+            &cluster,
+            &[(&rst, &a), (&rst, &a)],
+            &ccfg,
+        );
         assert!(
             shared.per_app[0].finish > alone.per_app[0].finish,
             "competition must slow the app: {} vs {}",
@@ -170,6 +177,7 @@ mod tests {
         let b = ior_like(2, 256 * KB, 8 * MB, OpKind::Write);
         let rst = RegionStripeTable::single(8 * MB, 16 * KB, 64 * KB);
         let report = run_shared(
+            &SimContext::new(),
             &cluster,
             &[(&rst, &a), (&rst, &b)],
             &CollectiveConfig::default(),
@@ -186,13 +194,19 @@ mod tests {
         w.ranks[0].push_collective(vec![LogicalRequest::write(0, 1024)]);
         w.ranks[1].push_collective(vec![]);
         let rst = RegionStripeTable::single(MB, 4 * KB, 8 * KB);
-        run_shared(&cluster, &[(&rst, &w)], &CollectiveConfig::default());
+        run_shared(
+            &SimContext::new(),
+            &cluster,
+            &[(&rst, &w)],
+            &CollectiveConfig::default(),
+        );
     }
 
     #[test]
     #[should_panic(expected = "no applications")]
     fn empty_input_rejected() {
         run_shared(
+            &SimContext::new(),
             &ClusterConfig::paper_default(),
             &[],
             &CollectiveConfig::default(),

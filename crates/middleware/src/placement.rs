@@ -8,7 +8,7 @@
 //! [`place`] turns each RST region into one physical [`FileLayout`] with
 //! that region's `(h, s)` stripes and records the mapping in an [`R2f`].
 
-use harl_core::RegionStripeTable;
+use harl_core::{LoadError, RegionStripeTable};
 use harl_pfs::{ClusterConfig, FileId, FileLayout};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -52,11 +52,10 @@ impl R2f {
         std::fs::write(path, json)
     }
 
-    /// Load from JSON.
-    pub fn load_from_path(path: &Path) -> std::io::Result<Self> {
-        let data = std::fs::read_to_string(path)?;
-        serde_json::from_str(&data)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    /// Load from JSON; errors carry the file, the line (for syntax
+    /// errors) and the reason.
+    pub fn load_from_path(path: &Path) -> Result<Self, LoadError> {
+        harl_core::errors::read_json(path)
     }
 }
 
@@ -188,6 +187,21 @@ mod tests {
         let path = dir.join("r2f.json");
         r.save_to_path(&path).unwrap();
         assert_eq!(R2f::load_from_path(&path).unwrap(), r);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn r2f_malformed_file_reports_line() {
+        let dir = std::env::temp_dir().join("harl-r2f-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r2f-malformed.json");
+        std::fs::write(&path, "{\n  \"file_of\": [1, 2,\n}").unwrap();
+        let err = R2f::load_from_path(&path).unwrap_err();
+        assert_eq!(err.path, path);
+        assert!(
+            err.line.is_some(),
+            "parse errors should carry a line: {err}"
+        );
         std::fs::remove_file(&path).ok();
     }
 }

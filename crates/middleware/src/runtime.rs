@@ -10,42 +10,40 @@
 //!   the per-region physical files (the modified `MPI_File_read/write` of
 //!   Sec. III-G), lowers collective calls through two-phase I/O, and runs
 //!   the discrete-event simulation.
+//!
+//! Every entry point takes a [`SimContext`] first: it carries the metrics
+//! [`Recorder`], the seed and thread-budget
+//! overrides, and any injected fault plan, so observability and experiment
+//! control are orthogonal to the pipeline itself.
 
 use crate::collective::{plan_collective, CollectiveConfig};
 use crate::logical::{LogicalRequest, LogicalStep, Workload};
 use crate::placement::{place, PlacedFile};
 use harl_core::{LayoutPolicy, RegionStripeTable, Trace, TraceRecord};
-use harl_pfs::{simulate_recorded, ClientProgram, ClusterConfig, PhysRequest, SimReport};
-use harl_simcore::metrics::{NoopRecorder, Recorder};
-use harl_simcore::SimNanos;
+use harl_pfs::{simulate, ClientProgram, ClusterConfig, PhysRequest, SimReport};
+use harl_simcore::metrics::Recorder;
+use harl_simcore::{SimContext, SimNanos};
+
+/// How collective calls appear in a collected trace.
+enum Lowering<'a> {
+    /// Record each rank's collective contributions verbatim.
+    Identity,
+    /// Lower collectives through two-phase I/O and record the aggregators'
+    /// combined requests (what an MPI-IO-level tracer actually observes).
+    TwoPhase {
+        cluster: &'a ClusterConfig,
+        ccfg: &'a CollectiveConfig,
+    },
+}
 
 /// Tracing Phase: record the logical requests a workload will issue.
 ///
 /// Timestamps are synthetic issue-order counters — region division uses
-/// only offsets, sizes and operation types.
+/// only offsets, sizes and operation types. Collective contributions are
+/// recorded verbatim (identity lowering); use [`collect_trace_lowered`]
+/// for the post-aggregation view.
 pub fn collect_trace(workload: &Workload) -> Trace {
-    let mut trace = Trace::new();
-    let mut clock = 0u64;
-    for (rank, prog) in workload.ranks.iter().enumerate() {
-        for step in &prog.steps {
-            let reqs = match step {
-                LogicalStep::Independent(r) | LogicalStep::Collective(r) => r,
-                LogicalStep::Compute(_) => continue,
-            };
-            for r in reqs {
-                trace.record(TraceRecord {
-                    rank: rank as u32,
-                    fd: 0,
-                    op: r.op,
-                    offset: r.offset,
-                    size: r.size,
-                    timestamp: SimNanos::from_nanos(clock),
-                });
-                clock += 1;
-            }
-        }
-    }
-    trace
+    collect_trace_with(workload, Lowering::Identity)
 }
 
 /// Tracing Phase at the PFS boundary: record the requests the middleware
@@ -60,13 +58,20 @@ pub fn collect_trace_lowered(
     workload: &Workload,
     ccfg: &CollectiveConfig,
 ) -> Trace {
-    workload
-        .validate_collectives()
-        .expect("collective call counts must match across ranks");
+    collect_trace_with(workload, Lowering::TwoPhase { cluster, ccfg })
+}
+
+/// Single implementation behind both trace collectors: independents pass
+/// through unchanged, collectives go through the chosen [`Lowering`].
+fn collect_trace_with(workload: &Workload, lowering: Lowering<'_>) -> Trace {
+    if matches!(lowering, Lowering::TwoPhase { .. }) {
+        workload
+            .validate_collectives()
+            .expect("collective call counts must match across ranks");
+    }
     let mut trace = Trace::new();
     let mut clock = 0u64;
-    let aggregators = default_aggregators(cluster, workload.rank_count());
-    let mut record = |rank: usize, r: &LogicalRequest, clock: &mut u64| {
+    let record = |trace: &mut Trace, clock: &mut u64, rank: usize, r: &LogicalRequest| {
         trace.record(TraceRecord {
             rank: rank as u32,
             fd: 0,
@@ -78,37 +83,52 @@ pub fn collect_trace_lowered(
         *clock += 1;
     };
 
-    // Independent requests pass through unchanged.
+    // Independent requests pass through unchanged under either lowering.
     for (rank, prog) in workload.ranks.iter().enumerate() {
         for step in &prog.steps {
             if let LogicalStep::Independent(reqs) = step {
                 for r in reqs {
-                    record(rank, r, &mut clock);
+                    record(&mut trace, &mut clock, rank, r);
                 }
             }
         }
     }
-    // Collective calls are recorded post-aggregation.
-    let max_collectives = workload.ranks.first().map_or(0, |r| r.collective_calls());
-    for k in 0..max_collectives {
-        let contributions: Vec<Vec<LogicalRequest>> = workload
-            .ranks
-            .iter()
-            .map(|prog| {
-                prog.steps
+    match lowering {
+        Lowering::Identity => {
+            for (rank, prog) in workload.ranks.iter().enumerate() {
+                for step in &prog.steps {
+                    if let LogicalStep::Collective(reqs) = step {
+                        for r in reqs {
+                            record(&mut trace, &mut clock, rank, r);
+                        }
+                    }
+                }
+            }
+        }
+        Lowering::TwoPhase { cluster, ccfg } => {
+            let aggregators = default_aggregators(cluster, workload.rank_count());
+            let max_collectives = workload.ranks.first().map_or(0, |r| r.collective_calls());
+            for k in 0..max_collectives {
+                let contributions: Vec<Vec<LogicalRequest>> = workload
+                    .ranks
                     .iter()
-                    .filter_map(|s| match s {
-                        LogicalStep::Collective(r) => Some(r.clone()),
-                        _ => None,
+                    .map(|prog| {
+                        prog.steps
+                            .iter()
+                            .filter_map(|s| match s {
+                                LogicalStep::Collective(r) => Some(r.clone()),
+                                _ => None,
+                            })
+                            .nth(k)
+                            .expect("validated collective count")
                     })
-                    .nth(k)
-                    .expect("validated collective count")
-            })
-            .collect();
-        if let Some(plan) = plan_collective(&contributions, &aggregators, ccfg) {
-            for (rank, reqs) in plan.aggregated.iter().enumerate() {
-                for r in reqs {
-                    record(rank, r, &mut clock);
+                    .collect();
+                if let Some(plan) = plan_collective(&contributions, &aggregators, ccfg) {
+                    for (rank, reqs) in plan.aggregated.iter().enumerate() {
+                        for r in reqs {
+                            record(&mut trace, &mut clock, rank, r);
+                        }
+                    }
                 }
             }
         }
@@ -117,11 +137,11 @@ pub fn collect_trace_lowered(
 }
 
 /// Translate one logical request into physical per-region requests, with
-/// routing observability when a recorder is enabled: counts every routing
-/// decision per region (`mw.region.requests`, `mw.region.bytes`) and the
-/// fan-out of each logical request (`mw.request.fanout` — how many region
-/// pieces one call split into).
-fn translate_request_recorded(
+/// routing observability when the context's recorder is enabled: counts
+/// every routing decision per region (`mw.region.requests`,
+/// `mw.region.bytes`) and the fan-out of each logical request
+/// (`mw.request.fanout` — how many region pieces one call split into).
+fn translate_request(
     placed: &PlacedFile,
     req: LogicalRequest,
     recorder: &dyn Recorder,
@@ -178,24 +198,17 @@ fn default_aggregators(cluster: &ClusterConfig, ranks: usize) -> Vec<usize> {
 /// region pieces. Collective calls are lowered through two-phase I/O:
 /// exchange compute → barrier → aggregator I/O → barrier (every rank gets
 /// the same barrier structure, so the simulation cannot deadlock).
+///
+/// When `ctx` carries an enabled recorder, every routing decision is
+/// counted (see `translate_request`).
 pub fn translate_workload(
+    ctx: &SimContext,
     cluster: &ClusterConfig,
     placed: &PlacedFile,
     workload: &Workload,
     ccfg: &CollectiveConfig,
 ) -> Vec<ClientProgram> {
-    translate_workload_recorded(cluster, placed, workload, ccfg, &NoopRecorder)
-}
-
-/// [`translate_workload`] with per-region routing observability (see
-/// [`translate_request_recorded`]).
-pub fn translate_workload_recorded(
-    cluster: &ClusterConfig,
-    placed: &PlacedFile,
-    workload: &Workload,
-    ccfg: &CollectiveConfig,
-    recorder: &dyn Recorder,
-) -> Vec<ClientProgram> {
+    let recorder = ctx.recorder();
     workload
         .validate_collectives()
         .expect("collective call counts must match across ranks");
@@ -232,7 +245,7 @@ pub fn translate_workload_recorded(
                 LogicalStep::Compute(d) => out.push_compute(*d),
                 LogicalStep::Independent(reqs) => {
                     for req in reqs {
-                        let phys = translate_request_recorded(placed, *req, recorder);
+                        let phys = translate_request(placed, *req, recorder);
                         out.push_batch(phys);
                     }
                 }
@@ -253,7 +266,7 @@ pub fn translate_workload_recorded(
                             out.push_barrier();
                             let mine: Vec<PhysRequest> = plan.aggregated[rank]
                                 .iter()
-                                .flat_map(|r| translate_request_recorded(placed, *r, recorder))
+                                .flat_map(|r| translate_request(placed, *r, recorder))
                                 .collect();
                             if !mine.is_empty() {
                                 out.push_batch(mine);
@@ -274,26 +287,20 @@ pub fn translate_workload_recorded(
 
 /// Placing Phase + execution: materialise `rst`, translate `workload`, and
 /// simulate it on `cluster`.
+///
+/// With an enabled recorder on `ctx`, the planned per-region stripes land
+/// as gauges (`mw.region.stripe_h` / `mw.region.stripe_s`), translation
+/// records routing counters, and the simulation records per-server
+/// histograms plus one span per request. Seed and fault overrides on `ctx`
+/// apply to the simulation.
 pub fn run_workload(
+    ctx: &SimContext,
     cluster: &ClusterConfig,
     rst: &RegionStripeTable,
     workload: &Workload,
     ccfg: &CollectiveConfig,
 ) -> SimReport {
-    run_workload_recorded(cluster, rst, workload, ccfg, &NoopRecorder)
-}
-
-/// [`run_workload`] with full-stack observability: the planned per-region
-/// stripes land as gauges (`mw.region.stripe_h` / `mw.region.stripe_s`),
-/// translation records routing counters, and the simulation records
-/// per-server histograms plus one span per request.
-pub fn run_workload_recorded(
-    cluster: &ClusterConfig,
-    rst: &RegionStripeTable,
-    workload: &Workload,
-    ccfg: &CollectiveConfig,
-    recorder: &dyn Recorder,
-) -> SimReport {
+    let recorder = ctx.recorder();
     if recorder.is_enabled() {
         for (region, entry) in rst.entries().iter().enumerate() {
             let labels = [("region", region.to_string())];
@@ -303,37 +310,31 @@ pub fn run_workload_recorded(
         }
     }
     let placed = place(cluster, rst, 0);
-    let programs = translate_workload_recorded(cluster, &placed, workload, ccfg, recorder);
-    simulate_recorded(cluster, &placed.files, &programs, recorder)
+    let programs = translate_workload(ctx, cluster, &placed, workload, ccfg);
+    simulate(ctx, cluster, &placed.files, &programs)
 }
 
 /// The full paper pipeline for one workload: trace it, plan a layout with
 /// `policy`, place it, run it. Returns the plan and the simulation report.
+///
+/// `ctx` threads through every phase: the planner obeys its thread budget,
+/// the simulation obeys its seed/fault overrides, and an enabled recorder
+/// observes tracing, planning, translation and execution.
 pub fn trace_plan_run(
+    ctx: &SimContext,
     cluster: &ClusterConfig,
     policy: &dyn LayoutPolicy,
     workload: &Workload,
     ccfg: &CollectiveConfig,
-) -> (RegionStripeTable, SimReport) {
-    trace_plan_run_recorded(cluster, policy, workload, ccfg, &NoopRecorder)
-}
-
-/// [`trace_plan_run`] with observability through every phase (see
-/// [`run_workload_recorded`]).
-pub fn trace_plan_run_recorded(
-    cluster: &ClusterConfig,
-    policy: &dyn LayoutPolicy,
-    workload: &Workload,
-    ccfg: &CollectiveConfig,
-    recorder: &dyn Recorder,
 ) -> (RegionStripeTable, SimReport) {
     let trace = collect_trace_lowered(cluster, workload, ccfg);
+    let recorder = ctx.recorder();
     if recorder.is_enabled() {
         recorder.counter_add("mw.trace.records", &[], trace.len() as u64);
     }
     let file_size = workload.extent().max(1);
-    let rst = policy.plan(&trace, file_size);
-    let report = run_workload_recorded(cluster, &rst, workload, ccfg, recorder);
+    let rst = policy.plan(ctx, &trace, file_size);
+    let report = run_workload(ctx, cluster, &rst, workload, ccfg);
     (rst, report)
 }
 
@@ -341,9 +342,14 @@ pub fn trace_plan_run_recorded(
 mod tests {
     use super::*;
     use harl_core::{CostModelParams, FixedPolicy, HarlPolicy, RstEntry};
+    use harl_simcore::metrics::NoopRecorder;
 
     const KB: u64 = 1024;
     const MB: u64 = 1024 * 1024;
+
+    fn ctx() -> SimContext {
+        SimContext::new()
+    }
 
     fn two_region_rst() -> RegionStripeTable {
         RegionStripeTable::new(vec![
@@ -377,7 +383,7 @@ mod tests {
     fn translation_splits_on_region_boundary() {
         let cluster = ClusterConfig::paper_default();
         let placed = place(&cluster, &two_region_rst(), 0);
-        let phys = translate_request_recorded(
+        let phys = translate_request(
             &placed,
             LogicalRequest::read(4 * MB - KB, 2 * KB),
             &NoopRecorder,
@@ -395,8 +401,7 @@ mod tests {
     fn zero_byte_request_routes_to_region() {
         let cluster = ClusterConfig::paper_default();
         let placed = place(&cluster, &two_region_rst(), 0);
-        let phys =
-            translate_request_recorded(&placed, LogicalRequest::read(5 * MB, 0), &NoopRecorder);
+        let phys = translate_request(&placed, LogicalRequest::read(5 * MB, 0), &NoopRecorder);
         assert_eq!(phys.len(), 1);
         assert_eq!(phys[0].file, 1);
         assert_eq!(phys[0].size, 0);
@@ -415,6 +420,7 @@ mod tests {
             }
         }
         let report = run_workload(
+            &ctx(),
             &cluster,
             &two_region_rst(),
             &w,
@@ -436,6 +442,7 @@ mod tests {
             prog.push_collective(reqs);
         }
         let report = run_workload(
+            &ctx(),
             &cluster,
             &two_region_rst(),
             &w,
@@ -460,7 +467,7 @@ mod tests {
             prog.push_collective(reqs);
         }
         let rst = RegionStripeTable::single(8 * MB, 64 * KB, 64 * KB);
-        let report = run_workload(&cluster, &rst, &w, &CollectiveConfig::default());
+        let report = run_workload(&ctx(), &cluster, &rst, &w, &CollectiveConfig::default());
         assert_eq!(report.bytes_read, 8 * MB);
         assert_eq!(report.bytes_written, 0);
         assert!(report.read_latency.count() >= 2);
@@ -487,8 +494,8 @@ mod tests {
             }
         }
         let ccfg = CollectiveConfig::default();
-        let rc = run_workload(&cluster, &rst, &coll, &ccfg);
-        let ri = run_workload(&cluster, &rst, &indep, &ccfg);
+        let rc = run_workload(&ctx(), &cluster, &rst, &coll, &ccfg);
+        let ri = run_workload(&ctx(), &cluster, &rst, &indep, &ccfg);
         assert!(
             rc.makespan < ri.makespan,
             "collective {c} should beat independent {i}",
@@ -498,20 +505,40 @@ mod tests {
     }
 
     #[test]
+    fn lowered_trace_matches_plain_on_independent_workloads() {
+        // The two collectors are one implementation; on a workload with no
+        // collectives they must produce identical traces.
+        let cluster = ClusterConfig::paper_default();
+        let mut w = Workload::with_ranks(3);
+        for (r, prog) in w.ranks.iter_mut().enumerate() {
+            for i in 0..4u64 {
+                prog.push_request(LogicalRequest::read(
+                    (r as u64 * 4 + i) * 256 * KB,
+                    256 * KB,
+                ));
+            }
+        }
+        let plain = collect_trace(&w);
+        let lowered = collect_trace_lowered(&cluster, &w, &CollectiveConfig::default());
+        assert_eq!(plain.records(), lowered.records());
+    }
+
+    #[test]
     fn recorded_run_counts_region_routing() {
         use harl_simcore::MemoryRecorder;
+        use std::sync::Arc;
         let cluster = ClusterConfig::paper_default();
         let mut w = Workload::with_ranks(2);
         // Rank 0 stays inside region 0; rank 1 straddles the 4 MiB boundary.
         w.ranks[0].push_request(LogicalRequest::write(0, 512 * KB));
         w.ranks[1].push_request(LogicalRequest::write(4 * MB - KB, 2 * KB));
-        let rec = MemoryRecorder::new();
-        let report = run_workload_recorded(
+        let rec = Arc::new(MemoryRecorder::new());
+        let report = run_workload(
+            &SimContext::recorded(rec.clone()),
             &cluster,
             &two_region_rst(),
             &w,
             &CollectiveConfig::default(),
-            &rec,
         );
         assert_eq!(report.requests_completed, 3, "straddler splits in two");
         let r0 = [("region", "0".to_string()), ("op", "write".to_string())];
@@ -548,13 +575,15 @@ mod tests {
             }
         }
         let policy = HarlPolicy::new(CostModelParams::from_cluster(&cluster));
-        let (rst, report) = trace_plan_run(&cluster, &policy, &w, &CollectiveConfig::default());
+        let (rst, report) =
+            trace_plan_run(&ctx(), &cluster, &policy, &w, &CollectiveConfig::default());
         assert!(!rst.is_empty());
         assert_eq!(report.bytes_read, 8 * MB);
 
         // Sanity: HARL at least matches the 64K default on this workload.
         let fixed = FixedPolicy::new(64 * KB);
-        let (_, fixed_report) = trace_plan_run(&cluster, &fixed, &w, &CollectiveConfig::default());
+        let (_, fixed_report) =
+            trace_plan_run(&ctx(), &cluster, &fixed, &w, &CollectiveConfig::default());
         assert!(
             report.makespan <= fixed_report.makespan,
             "HARL {h} worse than default {f}",

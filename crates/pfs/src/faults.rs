@@ -1,131 +1,8 @@
-//! Fault and straggler injection.
+//! Fault and straggler injection — re-exported from `harl-simcore`.
 //!
-//! Real PFS deployments degrade: an SSD hits a garbage-collection storm, a
-//! disk develops remapped sectors, a server becomes a straggler. HARL
-//! plans from a calibration taken at one point in time, so its sensitivity
-//! to later degradation matters. [`Degradation`] injects a service-time
-//! slowdown on one server over a simulated time window; the simulator
-//! multiplies the device service time of any sub-request arriving in the
-//! window.
+//! [`Degradation`] moved into `harl_simcore::faults` so that
+//! [`harl_simcore::SimContext`] can carry a fault plan without a dependency
+//! cycle; this module keeps the PFS-side path (`harl_pfs::faults`) working.
+//! See `harl_simcore::faults` for the full documentation and tests.
 
-use crate::cluster::ServerId;
-use harl_simcore::SimNanos;
-use serde::{Deserialize, Serialize};
-
-/// One injected degradation window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct Degradation {
-    /// The server whose device degrades.
-    pub server: ServerId,
-    /// Window start (inclusive).
-    pub from: SimNanos,
-    /// Window end (exclusive); use [`SimNanos::MAX`] for a permanent fault.
-    pub until: SimNanos,
-    /// Service-time multiplier (> 1.0 slows the device; 1.0 is a no-op).
-    pub slowdown: f64,
-}
-
-impl Degradation {
-    /// A permanent straggler from time zero.
-    pub fn permanent(server: ServerId, slowdown: f64) -> Self {
-        Degradation {
-            server,
-            from: SimNanos::ZERO,
-            until: SimNanos::MAX,
-            slowdown,
-        }
-    }
-
-    /// Validate the window.
-    ///
-    /// # Panics
-    /// Panics on a non-positive slowdown or an inverted window.
-    pub fn validated(self) -> Self {
-        assert!(
-            self.slowdown > 0.0,
-            "slowdown must be positive, got {}",
-            self.slowdown
-        );
-        assert!(self.from <= self.until, "degradation window inverted");
-        self
-    }
-
-    /// Whether the window covers time `t`.
-    #[inline]
-    pub fn active_at(&self, t: SimNanos) -> bool {
-        t >= self.from && t < self.until
-    }
-}
-
-/// The combined slowdown factor for `server` at time `t` (overlapping
-/// windows multiply).
-pub fn slowdown_at(degradations: &[Degradation], server: ServerId, t: SimNanos) -> f64 {
-    degradations
-        .iter()
-        .filter(|d| d.server == server && d.active_at(t))
-        .map(|d| d.slowdown)
-        .product()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn window_membership() {
-        let d = Degradation {
-            server: 3,
-            from: SimNanos(100),
-            until: SimNanos(200),
-            slowdown: 2.0,
-        }
-        .validated();
-        assert!(!d.active_at(SimNanos(99)));
-        assert!(d.active_at(SimNanos(100)));
-        assert!(d.active_at(SimNanos(199)));
-        assert!(!d.active_at(SimNanos(200)));
-    }
-
-    #[test]
-    fn permanent_covers_everything() {
-        let d = Degradation::permanent(0, 4.0);
-        assert!(d.active_at(SimNanos::ZERO));
-        assert!(d.active_at(SimNanos(u64::MAX - 1)));
-    }
-
-    #[test]
-    fn slowdowns_multiply_per_server() {
-        let ds = vec![
-            Degradation::permanent(1, 2.0),
-            Degradation {
-                server: 1,
-                from: SimNanos(50),
-                until: SimNanos(100),
-                slowdown: 3.0,
-            },
-            Degradation::permanent(2, 10.0),
-        ];
-        assert_eq!(slowdown_at(&ds, 1, SimNanos(10)), 2.0);
-        assert_eq!(slowdown_at(&ds, 1, SimNanos(60)), 6.0);
-        assert_eq!(slowdown_at(&ds, 0, SimNanos(60)), 1.0);
-        assert_eq!(slowdown_at(&ds, 2, SimNanos(0)), 10.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "slowdown must be positive")]
-    fn zero_slowdown_rejected() {
-        Degradation::permanent(0, 0.0).validated();
-    }
-
-    #[test]
-    #[should_panic(expected = "window inverted")]
-    fn inverted_window_rejected() {
-        Degradation {
-            server: 0,
-            from: SimNanos(10),
-            until: SimNanos(5),
-            slowdown: 2.0,
-        }
-        .validated();
-    }
-}
+pub use harl_simcore::faults::{slowdown_at, Degradation};

@@ -19,12 +19,13 @@
 //!
 //! ```
 //! use harl_pfs::{simulate, ClusterConfig, FileLayout, ClientProgram, PhysRequest};
+//! use harl_simcore::SimContext;
 //!
 //! let cluster = ClusterConfig::paper_default(); // 6 HServers + 2 SServers
 //! let file = FileLayout::fixed(&cluster, 64 * 1024);
 //! let mut prog = ClientProgram::new();
 //! prog.push_request(PhysRequest::read(0, 0, 512 * 1024));
-//! let report = simulate(&cluster, &[file], &[prog]);
+//! let report = simulate(&SimContext::new(), &cluster, &[file], &[prog]);
 //! assert_eq!(report.requests_completed, 1);
 //! ```
 
@@ -45,4 +46,4 @@ pub use geometry::GroupLayout;
 pub use layout::FileLayout;
 pub use report::{BusyBuckets, ServerReport, SimReport};
 pub use request::{ClientProgram, FileId, PhysRequest, Step};
-pub use sim::{simulate, simulate_recorded};
+pub use sim::simulate;

@@ -25,8 +25,8 @@ use crate::layout::FileLayout;
 use crate::report::{ServerReport, SimReport};
 use crate::request::{ClientProgram, FileId, Step};
 use harl_devices::OpKind;
-use harl_simcore::metrics::{NoopRecorder, Recorder, SpanHop, SpanRecord};
-use harl_simcore::{Engine, OnlineStats, SimNanos, SimRng, Timeline};
+use harl_simcore::metrics::{SpanHop, SpanRecord};
+use harl_simcore::{Engine, OnlineStats, SimContext, SimNanos, SimRng, Timeline};
 
 /// Events of the PFS simulation.
 #[derive(Debug, Clone, Copy)]
@@ -87,36 +87,42 @@ struct ClientState {
 /// `files[i]` is the layout of [`FileId`] `i`; every request must reference
 /// a valid file id (panics otherwise — that is a harness bug, not a
 /// simulated failure).
-pub fn simulate(
-    cluster: &ClusterConfig,
-    files: &[FileLayout],
-    programs: &[ClientProgram],
-) -> SimReport {
-    simulate_recorded(cluster, files, programs, &NoopRecorder)
-}
-
-/// [`simulate`] with observability: per-server queue-wait and service-time
-/// histograms (`pfs.server.queue_wait_ns` / `pfs.server.service_ns`,
-/// labelled by server id and device kind), request counters, engine-level
-/// metrics, and one [`SpanRecord`] per completed request capturing its
-/// lifecycle (issue → queue → service → complete, per hop).
 ///
-/// With a disabled recorder (the default [`NoopRecorder`]) every
-/// instrumentation site short-circuits on [`Recorder::is_enabled`], so this
-/// costs nothing measurable over the plain path.
-pub fn simulate_recorded(
+/// The [`SimContext`] carries the cross-cutting state:
+///
+/// * **Observability** — with an enabled recorder, the run emits per-server
+///   queue-wait and service-time histograms (`pfs.server.queue_wait_ns` /
+///   `pfs.server.service_ns`, labelled by server id and device kind),
+///   request counters, engine-level metrics, and one [`SpanRecord`] per
+///   completed request capturing its lifecycle (issue → queue → service →
+///   complete, per hop). With the default no-op recorder every
+///   instrumentation site short-circuits on one boolean, so a silent
+///   context costs nothing measurable.
+/// * **Seed** — `ctx.seed` (when set) overrides `cluster.seed` for the
+///   per-server device RNG streams.
+/// * **Faults** — `ctx.faults` windows apply *in addition to*
+///   `cluster.degradations` (overlapping windows multiply).
+pub fn simulate(
+    ctx: &SimContext,
     cluster: &ClusterConfig,
     files: &[FileLayout],
     programs: &[ClientProgram],
-    recorder: &dyn Recorder,
 ) -> SimReport {
+    let recorder = ctx.recorder();
     let rec_on = recorder.is_enabled();
+    let seed = ctx.seed_or(cluster.seed);
+    let degradations: Vec<crate::faults::Degradation> = cluster
+        .degradations
+        .iter()
+        .chain(ctx.faults.iter())
+        .copied()
+        .collect();
     let n_servers = cluster.server_count();
     let mut servers: Vec<ServerState> = (0..n_servers)
         .map(|id| ServerState {
             disk: Timeline::new(),
             nic: Timeline::new(),
-            rng: SimRng::derived(cluster.seed, &format!("server-{id}")),
+            rng: SimRng::derived(seed, &format!("server-{id}")),
             bytes: 0,
             busy_series: crate::report::BusyBuckets::new(BUSY_BUCKET_WIDTH, BUSY_BUCKETS),
         })
@@ -295,8 +301,9 @@ pub fn simulate_recorded(
             let op = reqs[req].op;
             let srv = &mut servers[server];
             let mut service = cluster.profile_of(server).service_time(op, z, &mut srv.rng);
-            // Injected stragglers/degradation windows (crate::faults).
-            let slow = crate::faults::slowdown_at(&cluster.degradations, server, now);
+            // Injected stragglers/degradation windows (crate::faults),
+            // from the cluster schedule and the context's fault plan.
+            let slow = crate::faults::slowdown_at(&degradations, server, now);
             if slow != 1.0 {
                 service = harl_simcore::SimNanos::from_secs_f64(service.as_secs_f64() * slow);
             }
@@ -477,6 +484,11 @@ mod tests {
         (cluster, vec![file])
     }
 
+    /// [`simulate`] under a silent default context.
+    fn run(cluster: &ClusterConfig, files: &[FileLayout], programs: &[ClientProgram]) -> SimReport {
+        simulate(&SimContext::new(), cluster, files, programs)
+    }
+
     fn sync_program(reqs: Vec<PhysRequest>) -> ClientProgram {
         let mut p = ClientProgram::new();
         for r in reqs {
@@ -489,7 +501,7 @@ mod tests {
     fn single_request_completes() {
         let (cluster, files) = one_file_cluster(64 * 1024);
         let programs = vec![sync_program(vec![PhysRequest::read(0, 0, 512 * 1024)])];
-        let report = simulate(&cluster, &files, &programs);
+        let report = run(&cluster, &files, &programs);
         assert_eq!(report.requests_completed, 1);
         assert_eq!(report.bytes_read, 512 * 1024);
         assert_eq!(report.bytes_written, 0);
@@ -515,8 +527,8 @@ mod tests {
                 })
                 .collect::<Vec<_>>()
         };
-        let a = simulate(&cluster, &files, &mk());
-        let b = simulate(&cluster, &files, &mk());
+        let a = run(&cluster, &files, &mk());
+        let b = run(&cluster, &files, &mk());
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.bytes_written, b.bytes_written);
         for (x, y) in a.servers.iter().zip(&b.servers) {
@@ -537,7 +549,7 @@ mod tests {
                 )
             })
             .collect();
-        let report = simulate(&cluster, &files, &programs);
+        let report = run(&cluster, &files, &programs);
         let norm = report.normalized_server_times();
         // Servers 0-5 are HDDs, 6-7 SSDs.
         let h_avg: f64 = norm[..6].iter().sum::<f64>() / 6.0;
@@ -564,8 +576,8 @@ mod tests {
                 )
             })
             .collect();
-        let rf = simulate(&cluster, &fixed, &programs);
-        let rv = simulate(&cluster, &varied, &programs);
+        let rf = run(&cluster, &fixed, &programs);
+        let rv = run(&cluster, &varied, &programs);
         assert!(
             rv.imbalance() < rf.imbalance(),
             "varied stripes should balance load: {} vs {}",
@@ -594,8 +606,8 @@ mod tests {
                 .map(|i| PhysRequest::write(0, i * 128 * 1024, 128 * 1024))
                 .collect(),
         )];
-        let rr = simulate(&cluster, &files, &reads);
-        let rw = simulate(&cluster, &files, &writes);
+        let rr = run(&cluster, &files, &reads);
+        let rw = run(&cluster, &files, &writes);
         assert!(rw.makespan > rr.makespan, "SSD writes must be slower");
     }
 
@@ -603,7 +615,7 @@ mod tests {
     fn zero_byte_request_is_fine() {
         let (cluster, files) = one_file_cluster(4096);
         let programs = vec![sync_program(vec![PhysRequest::read(0, 0, 0)])];
-        let report = simulate(&cluster, &files, &programs);
+        let report = run(&cluster, &files, &programs);
         assert_eq!(report.requests_completed, 1);
         assert_eq!(report.bytes_read, 0);
     }
@@ -614,7 +626,7 @@ mod tests {
         let mut p = ClientProgram::new();
         p.push_compute(SimNanos::from_secs(1));
         p.push_request(PhysRequest::write(0, 0, 4096));
-        let report = simulate(&cluster, &files, &[p]);
+        let report = run(&cluster, &files, &[p]);
         assert!(report.makespan > SimNanos::from_secs(1));
         assert!(
             (report.write_latency.mean()) < 0.1,
@@ -636,8 +648,8 @@ mod tests {
         let mut batch_prog = ClientProgram::new();
         batch_prog.push_batch(reqs.clone());
         let sync_prog = sync_program(reqs);
-        let rb = simulate(&cluster, &files, &[batch_prog]);
-        let rs = simulate(&cluster, &files, &[sync_prog]);
+        let rb = run(&cluster, &files, &[batch_prog]);
+        let rs = run(&cluster, &files, &[sync_prog]);
         assert!(
             rb.makespan.as_nanos() * 3 < rs.makespan.as_nanos() * 2,
             "batch {b} vs sync {s}",
@@ -649,7 +661,7 @@ mod tests {
     #[test]
     fn empty_program_finishes_at_zero() {
         let (cluster, files) = one_file_cluster(4096);
-        let report = simulate(&cluster, &files, &[ClientProgram::new()]);
+        let report = run(&cluster, &files, &[ClientProgram::new()]);
         assert_eq!(report.requests_completed, 0);
         assert_eq!(report.makespan, SimNanos::ZERO);
     }
@@ -665,7 +677,7 @@ mod tests {
         let mut p1 = ClientProgram::new();
         p1.push_barrier();
         p1.push_request(PhysRequest::read(0, 0, 4096));
-        let report = simulate(&cluster, &files, &[p0, p1]);
+        let report = run(&cluster, &files, &[p0, p1]);
         assert!(report.makespan > SimNanos::from_millis(10));
         assert_eq!(report.requests_completed, 1);
     }
@@ -682,7 +694,7 @@ mod tests {
             p
         };
         // Slowest client paces every round: 5 x 7 ms.
-        let report = simulate(&cluster, &files, &[mk(1), mk(7), mk(3)]);
+        let report = run(&cluster, &files, &[mk(1), mk(7), mk(3)]);
         assert_eq!(report.client_finish.len(), 3);
         let end = report.client_finish.iter().max().unwrap();
         assert_eq!(*end, SimNanos::from_millis(35));
@@ -695,7 +707,7 @@ mod tests {
         let mut p0 = ClientProgram::new();
         p0.push_barrier();
         let p1 = ClientProgram::new();
-        simulate(&cluster, &files, &[p0, p1]);
+        run(&cluster, &files, &[p0, p1]);
     }
 
     #[test]
@@ -703,7 +715,7 @@ mod tests {
     fn unknown_file_panics() {
         let (cluster, files) = one_file_cluster(4096);
         let programs = vec![sync_program(vec![PhysRequest::read(9, 0, 10)])];
-        simulate(&cluster, &files, &programs);
+        run(&cluster, &files, &programs);
     }
 
     #[test]
@@ -718,7 +730,7 @@ mod tests {
                 )
             })
             .collect();
-        let report = simulate(&cluster, &files, &programs);
+        let report = run(&cluster, &files, &programs);
         for s in &report.servers {
             assert_eq!(
                 s.busy_series.total(),
@@ -737,8 +749,13 @@ mod tests {
             PhysRequest::read(0, 0, 512 * 1024),
             PhysRequest::write(0, 512 * 1024, 512 * 1024),
         ])];
-        let rec = MemoryRecorder::new();
-        let report = simulate_recorded(&cluster, &files, &programs, &rec);
+        let rec = std::sync::Arc::new(MemoryRecorder::new());
+        let report = simulate(
+            &SimContext::recorded(rec.clone()),
+            &cluster,
+            &files,
+            &programs,
+        );
         assert_eq!(report.requests_completed, 2);
         // One span per request, each with an MDS hop plus per-sub disk hops.
         let spans = rec.spans();
@@ -790,9 +807,14 @@ mod tests {
                 )
             })
             .collect();
-        let plain = simulate(&cluster, &files, &programs);
-        let rec = MemoryRecorder::new();
-        let recorded = simulate_recorded(&cluster, &files, &programs, &rec);
+        let plain = run(&cluster, &files, &programs);
+        let rec = std::sync::Arc::new(MemoryRecorder::new());
+        let recorded = simulate(
+            &SimContext::recorded(rec.clone()),
+            &cluster,
+            &files,
+            &programs,
+        );
         assert_eq!(plain.makespan, recorded.makespan);
         assert_eq!(plain.bytes_written, recorded.bytes_written);
         assert_eq!(rec.spans().len(), 32);
@@ -815,8 +837,8 @@ mod tests {
                 )
             })
             .collect();
-        let healthy = simulate(&base, &files_a, &programs);
-        let hurt = simulate(&degraded, &files_b, &programs);
+        let healthy = run(&base, &files_a, &programs);
+        let hurt = run(&degraded, &files_b, &programs);
         assert!(
             hurt.makespan.as_nanos() > healthy.makespan.as_nanos() * 3,
             "8x straggler on the critical HServer should dominate: {} vs {}",
@@ -826,6 +848,53 @@ mod tests {
         // The straggler's own busy time grows; others' stay equal.
         assert!(hurt.servers[0].disk_busy > healthy.servers[0].disk_busy * 7);
         assert_eq!(hurt.servers[3].disk_busy, healthy.servers[3].disk_busy);
+    }
+
+    #[test]
+    fn context_faults_match_cluster_degradations() {
+        use crate::faults::Degradation;
+        // Injecting the straggler through the SimContext fault plan must
+        // behave exactly like baking it into the cluster config.
+        let base = ClusterConfig::paper_default();
+        let baked = ClusterConfig::paper_default().with_degradation(Degradation::permanent(0, 8.0));
+        let files = vec![FileLayout::fixed(&base, 64 * 1024)];
+        let programs: Vec<_> = (0..8)
+            .map(|c| {
+                sync_program(
+                    (0..8u64)
+                        .map(|i| PhysRequest::read(0, (c * 8 + i) * 512 * 1024, 512 * 1024))
+                        .collect(),
+                )
+            })
+            .collect();
+        let via_cluster = run(&baked, &files, &programs);
+        let ctx = SimContext::new().with_fault(Degradation::permanent(0, 8.0));
+        let via_ctx = simulate(&ctx, &base, &files, &programs);
+        assert_eq!(via_cluster.makespan, via_ctx.makespan);
+        assert_eq!(
+            via_cluster.servers[0].disk_busy,
+            via_ctx.servers[0].disk_busy
+        );
+        // And both overlapping (cluster + ctx) multiply.
+        let both = simulate(&ctx, &baked, &files, &programs);
+        assert!(both.makespan > via_ctx.makespan);
+    }
+
+    #[test]
+    fn context_seed_overrides_cluster_seed() {
+        let (cluster, files) = one_file_cluster(64 * 1024);
+        let programs = vec![sync_program(
+            (0..8u64)
+                .map(|i| PhysRequest::read(0, i * 512 * 1024, 512 * 1024))
+                .collect(),
+        )];
+        let reseeded = ClusterConfig::paper_default().with_seed(7);
+        let a = simulate(&SimContext::new().with_seed(7), &cluster, &files, &programs);
+        let b = run(&reseeded, &files, &programs);
+        assert_eq!(
+            a.makespan, b.makespan,
+            "ctx seed must act like cluster seed"
+        );
     }
 
     #[test]
@@ -842,8 +911,8 @@ mod tests {
         });
         let files = vec![FileLayout::fixed(&base, 64 * 1024)];
         let programs = vec![sync_program(vec![PhysRequest::read(0, 0, 512 * 1024)])];
-        let a = simulate(&base, &files, &programs);
-        let b = simulate(&late, &files, &programs);
+        let a = run(&base, &files, &programs);
+        let b = run(&late, &files, &programs);
         assert_eq!(a.makespan, b.makespan);
     }
 
@@ -858,7 +927,7 @@ mod tests {
         let programs: Vec<_> = (0..100)
             .map(|i| sync_program(vec![PhysRequest::read(0, i * 4096, 1)]))
             .collect();
-        let report = simulate(&cluster, &files, &programs);
+        let report = run(&cluster, &files, &programs);
         assert!(report.makespan >= SimNanos::from_micros(100) * 100);
     }
 }

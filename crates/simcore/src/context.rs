@@ -1,0 +1,186 @@
+//! The simulation context: one handle for everything a run needs.
+//!
+//! Every layer of the pipeline — the PFS simulator, the middleware
+//! runtime, the HARL planner — takes a [`SimContext`] as its first
+//! argument. The context owns the cross-cutting concerns that used to be
+//! spread across twin entry points and ad-hoc config fields:
+//!
+//! * the [`Recorder`] sink for metrics and request spans (a
+//!   [`NoopRecorder`] by default, which costs one boolean check per
+//!   instrumentation site — the unrecorded fast path);
+//! * an optional master RNG **seed** override (when unset, components fall
+//!   back to their own configured seeds, e.g. `ClusterConfig::seed`);
+//! * the **fault plan**: [`Degradation`] windows injected on top of
+//!   whatever the cluster config already carries;
+//! * an optional **thread budget** override for the planner's fan-out
+//!   (when unset, `OptimizerConfig::threads` applies).
+//!
+//! Contexts are cheap to clone (the recorder is behind an `Arc`) and are
+//! passed by reference: `simulate(&ctx, …)`, `policy.plan(&ctx, …)`.
+
+use crate::faults::Degradation;
+use crate::metrics::{NoopRecorder, Recorder};
+use std::sync::Arc;
+
+/// Cross-cutting state threaded through every stage of a simulation run.
+///
+/// See the [module docs](self) for what each field governs. Build one with
+/// [`SimContext::new`] (silent, default seeds) or
+/// [`SimContext::recorded`], then chain `with_*` builders:
+///
+/// ```
+/// use harl_simcore::{Degradation, SimContext};
+///
+/// let ctx = SimContext::new()
+///     .with_seed(42)
+///     .with_threads(4)
+///     .with_fault(Degradation::permanent(6, 3.0));
+/// assert_eq!(ctx.seed_or(7), 42);
+/// assert_eq!(ctx.threads_or(1), 4);
+/// assert!(!ctx.recorder().is_enabled());
+/// ```
+#[derive(Clone)]
+pub struct SimContext {
+    recorder: Arc<dyn Recorder>,
+    /// Master seed override; `None` defers to per-component seeds.
+    pub seed: Option<u64>,
+    /// Planner thread-budget override; `None` defers to
+    /// `OptimizerConfig::threads`.
+    pub threads: Option<usize>,
+    /// Fault plan applied in addition to the cluster's own
+    /// degradation schedule.
+    pub faults: Vec<Degradation>,
+}
+
+impl std::fmt::Debug for SimContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimContext")
+            .field("recorded", &self.recorder.is_enabled())
+            .field("seed", &self.seed)
+            .field("threads", &self.threads)
+            .field("faults", &self.faults)
+            .finish()
+    }
+}
+
+impl Default for SimContext {
+    fn default() -> Self {
+        SimContext::new()
+    }
+}
+
+impl SimContext {
+    /// A silent context: no-op recorder, component-default seeds and
+    /// threads, no injected faults.
+    pub fn new() -> Self {
+        SimContext {
+            recorder: Arc::new(NoopRecorder),
+            seed: None,
+            threads: None,
+            faults: Vec::new(),
+        }
+    }
+
+    /// A context that records metrics and spans into `recorder`.
+    pub fn recorded(recorder: Arc<dyn Recorder>) -> Self {
+        SimContext {
+            recorder,
+            ..SimContext::new()
+        }
+    }
+
+    /// Override the master RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Override the planner thread budget.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Replace the fault plan.
+    pub fn with_faults(mut self, faults: Vec<Degradation>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Add one fault window to the plan.
+    pub fn with_fault(mut self, fault: Degradation) -> Self {
+        self.faults.push(fault.validated());
+        self
+    }
+
+    /// The metrics/span sink.
+    #[inline]
+    pub fn recorder(&self) -> &dyn Recorder {
+        self.recorder.as_ref()
+    }
+
+    /// A clone of the recorder handle (for long-lived components that
+    /// outlive the context borrow, e.g. `OnlineMonitor`).
+    pub fn recorder_arc(&self) -> Arc<dyn Recorder> {
+        Arc::clone(&self.recorder)
+    }
+
+    /// The effective seed: the override if set, else `fallback`.
+    #[inline]
+    pub fn seed_or(&self, fallback: u64) -> u64 {
+        self.seed.unwrap_or(fallback)
+    }
+
+    /// The effective thread budget: the override if set, else `fallback`.
+    #[inline]
+    pub fn threads_or(&self, fallback: usize) -> usize {
+        self.threads.unwrap_or(fallback).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MemoryRecorder;
+
+    #[test]
+    fn default_context_is_silent_and_deferring() {
+        let ctx = SimContext::new();
+        assert!(!ctx.recorder().is_enabled());
+        assert_eq!(ctx.seed_or(99), 99);
+        assert_eq!(ctx.threads_or(3), 3);
+        assert!(ctx.faults.is_empty());
+    }
+
+    #[test]
+    fn overrides_win() {
+        let ctx = SimContext::new().with_seed(1).with_threads(8);
+        assert_eq!(ctx.seed_or(99), 1);
+        assert_eq!(ctx.threads_or(3), 8);
+    }
+
+    #[test]
+    fn thread_budget_is_at_least_one() {
+        let ctx = SimContext::new().with_threads(0);
+        assert_eq!(ctx.threads_or(4), 1);
+    }
+
+    #[test]
+    fn recorded_context_reports_enabled() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let ctx = SimContext::recorded(rec.clone());
+        assert!(ctx.recorder().is_enabled());
+        ctx.recorder().counter_add("x", &[], 1);
+        assert_eq!(rec.counter_value("x", &[]), 1);
+    }
+
+    #[test]
+    fn faults_accumulate_and_clone() {
+        let ctx = SimContext::new()
+            .with_fault(Degradation::permanent(2, 2.0))
+            .with_fault(Degradation::permanent(3, 4.0));
+        let copy = ctx.clone();
+        assert_eq!(copy.faults.len(), 2);
+        assert_eq!(copy.faults[1].server, 3);
+    }
+}

@@ -23,7 +23,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod context;
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod rng;
 pub mod stats;
@@ -31,7 +33,9 @@ pub mod time;
 pub mod timeline;
 pub mod units;
 
+pub use context::SimContext;
 pub use engine::{Engine, EventId, Scheduler};
+pub use faults::{slowdown_at, Degradation};
 pub use metrics::{MemoryRecorder, NoopRecorder, Recorder, SpanHop, SpanRecord};
 pub use rng::SimRng;
 pub use stats::{coefficient_of_variation, Histogram, OnlineStats};

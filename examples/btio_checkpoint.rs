@@ -42,9 +42,14 @@ fn main() {
 
     let model = CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
     let harl = HarlPolicy::new(model);
-    let (rst, harl_report) = trace_plan_run(&cluster, &harl, &workload, &ccfg);
-    let (_, default_report) =
-        trace_plan_run(&cluster, &FixedPolicy::new(64 * 1024), &workload, &ccfg);
+    let (rst, harl_report) = trace_plan_run(&SimContext::new(), &cluster, &harl, &workload, &ccfg);
+    let (_, default_report) = trace_plan_run(
+        &SimContext::new(),
+        &cluster,
+        &FixedPolicy::new(64 * 1024),
+        &workload,
+        &ccfg,
+    );
 
     let h = harl_report.throughput_mib_s();
     let d = default_report.throughput_mib_s();

@@ -21,7 +21,7 @@ fn main() {
     // Day 1: plan for the traced 512 KiB pattern.
     let old = IorConfig::paper_default(OpKind::Read, GIB).build();
     let old_trace = collect_trace_lowered(&cluster, &old, &ccfg);
-    let rst = HarlPolicy::new(model.clone()).plan(&old_trace, 16 * GIB);
+    let rst = HarlPolicy::new(model.clone()).plan(&SimContext::new(), &old_trace, 16 * GIB);
     let e = rst.entries()[0];
     println!(
         "planned for 512KiB requests: (h, s) = ({}, {})",

@@ -34,11 +34,17 @@ fn main() {
 
         let mut row = format!("{:<10}", ByteSize(rs).to_string());
         for &stripe in &fixed_stripes {
-            let (_, report) = trace_plan_run(&cluster, &FixedPolicy::new(stripe), &workload, &ccfg);
+            let (_, report) = trace_plan_run(
+                &SimContext::new(),
+                &cluster,
+                &FixedPolicy::new(stripe),
+                &workload,
+                &ccfg,
+            );
             row.push_str(&format!(" {:>8.0}", report.throughput_mib_s()));
         }
         let harl = HarlPolicy::new(model.clone());
-        let (rst, report) = trace_plan_run(&cluster, &harl, &workload, &ccfg);
+        let (rst, report) = trace_plan_run(&SimContext::new(), &cluster, &harl, &workload, &ccfg);
         let e = rst.entries()[0];
         row.push_str(&format!(
             " {:>10.0}  ({}, {})",

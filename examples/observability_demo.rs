@@ -19,6 +19,7 @@
 
 use harl_repro::prelude::*;
 use harl_repro::simcore::OnlineStats;
+use std::sync::Arc;
 
 fn main() {
     // A scaled-down version of the paper's Fig. 11 non-uniform workload:
@@ -28,14 +29,15 @@ fn main() {
     let workload = MultiRegionIorConfig::paper_default(OpKind::Read, 0.05).build();
     let model = CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
 
-    let recorder = MemoryRecorder::new();
+    let recorder = Arc::new(MemoryRecorder::new());
+    let ctx = SimContext::recorded(recorder.clone());
     let policy = HarlPolicy::new(model.clone());
-    let (rst, report) = trace_plan_run_recorded(
+    let (rst, report) = trace_plan_run(
+        &ctx,
         &cluster,
         &policy,
         &workload,
         &CollectiveConfig::default(),
-        &recorder,
     );
 
     println!(

@@ -24,7 +24,7 @@ fn main() {
     let trace = collect_trace_lowered(&cluster, &workload, &ccfg);
     let model = CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
     let harl = HarlPolicy::new(model.clone());
-    let rst = harl.plan(&trace, file_size);
+    let rst = harl.plan(&SimContext::new(), &trace, file_size);
     let ssd_bytes = projected_sserver_bytes(&model, &rst);
     println!(
         "HARL plan: (h, s) = ({}, {}), projected SServer usage {} of a {} file",
@@ -62,8 +62,8 @@ fn main() {
 
     // Replay under both plans: how much throughput does the space
     // constraint actually cost?
-    let unconstrained = run_workload(&cluster, &rst, &workload, &ccfg);
-    let constrained = run_workload(&cluster, &outcome.rst, &workload, &ccfg);
+    let unconstrained = run_workload(&SimContext::new(), &cluster, &rst, &workload, &ccfg);
+    let constrained = run_workload(&SimContext::new(), &cluster, &outcome.rst, &workload, &ccfg);
     let (u, c) = (
         unconstrained.throughput_mib_s(),
         constrained.throughput_mib_s(),

@@ -31,9 +31,14 @@ fn main() {
     // 4. Trace -> plan -> place -> run, under HARL and under the default.
     let ccfg = CollectiveConfig::default();
     let harl = HarlPolicy::new(model);
-    let (rst, harl_report) = trace_plan_run(&cluster, &harl, &workload, &ccfg);
-    let (_, default_report) =
-        trace_plan_run(&cluster, &FixedPolicy::new(64 * 1024), &workload, &ccfg);
+    let (rst, harl_report) = trace_plan_run(&SimContext::new(), &cluster, &harl, &workload, &ccfg);
+    let (_, default_report) = trace_plan_run(
+        &SimContext::new(),
+        &cluster,
+        &FixedPolicy::new(64 * 1024),
+        &workload,
+        &ccfg,
+    );
 
     println!("\nHARL region stripe table:");
     for (i, e) in rst.entries().iter().enumerate() {

@@ -13,6 +13,12 @@
 //!   optimizer, RST, policies, migration, K-profile extension)
 //! * [`middleware`] — the MPI-IO-like layer (R2F, two-phase collective I/O)
 //! * [`workloads`] — IOR- and BTIO-like generators
+//! * [`scenario`] — declarative experiment specs ([`scenario::Scenario`])
+//!   shared by the CLI, CI and programmatic callers
+//!
+//! Every pipeline entry point takes a [`SimContext`](prelude::SimContext)
+//! first — the carrier for the metrics recorder, the seed and thread
+//! overrides, and an injected fault plan:
 //!
 //! ```
 //! use harl_repro::prelude::*;
@@ -21,7 +27,8 @@
 //! let workload = IorConfig::paper_default(OpKind::Read, 256 << 20).build();
 //! let policy = HarlPolicy::new(CostModelParams::from_cluster(&cluster));
 //! let (rst, report) = trace_plan_run(
-//!     &cluster, &policy, &workload, &CollectiveConfig::default());
+//!     &SimContext::new(), &cluster, &policy, &workload,
+//!     &CollectiveConfig::default());
 //! assert!(rst.len() >= 1);
 //! assert!(report.throughput_mib_s() > 0.0);
 //! ```
@@ -33,10 +40,15 @@ pub use harl_pfs as pfs;
 pub use harl_simcore as simcore;
 pub use harl_workloads as workloads;
 
+pub mod scenario;
+
 /// The names most programs need, in one import.
 pub mod prelude {
+    pub use crate::scenario::{
+        ClusterSpec, FaultSpec, HybridCluster, PolicySpec, Scenario, ScenarioReport, WorkloadSpec,
+    };
     pub use harl_core::{
-        CostModelParams, FixedPolicy, HarlPolicy, LayoutPolicy, MultiProfileModel,
+        CostModelParams, FixedPolicy, HarlPolicy, LayoutPolicy, LoadError, MultiProfileModel,
         MultiProfileOptimizer, OptimizerConfig, RandomPolicy, RegionDivisionConfig,
         RegionStripeTable, RstEntry, SegmentPolicy, ServerLevelPolicy, SpaceBalancer, Trace,
         TraceRecord,
@@ -46,16 +58,15 @@ pub mod prelude {
         CalibrationConfig, DeviceKind, NetworkProfile, OpKind, StorageProfile,
     };
     pub use harl_middleware::{
-        collect_trace, collect_trace_lowered, run_workload, run_workload_recorded, trace_plan_run,
-        trace_plan_run_recorded, CollectiveConfig, LogicalRequest, RankProgram, Workload,
+        collect_trace, collect_trace_lowered, run_shared, run_workload, trace_plan_run,
+        CollectiveConfig, LogicalRequest, RankProgram, Workload,
     };
     pub use harl_pfs::{
-        simulate, simulate_recorded, ClientProgram, ClusterConfig, FileLayout, PhysRequest,
-        SimReport,
+        simulate, ClientProgram, ClusterConfig, Degradation, FileLayout, PhysRequest, SimReport,
     };
     pub use harl_simcore::{
-        ByteSize, MemoryRecorder, NoopRecorder, Recorder, SimNanos, SpanHop, SpanRecord, GIB, KIB,
-        MIB,
+        ByteSize, MemoryRecorder, NoopRecorder, Recorder, SimContext, SimNanos, SpanHop,
+        SpanRecord, GIB, KIB, MIB,
     };
     pub use harl_workloads::{
         replay, AccessOrder, BtioConfig, IorConfig, MultiRegionIorConfig, Phase, PhasedConfig,

@@ -1,0 +1,467 @@
+//! Declarative experiment scenarios: one JSON file describes the cluster,
+//! the workload, the layout policy, a fault schedule and the determinism
+//! knobs, and [`Scenario::run`] executes the full paper pipeline
+//! (trace → plan → place → simulate) under a [`SimContext`].
+//!
+//! The spec is the single entry point the CLI (`harl-cli run --scenario`),
+//! the smoke stage of `ci.sh` and programmatic callers share, so an
+//! experiment is reproducible from one committed file:
+//!
+//! ```
+//! use harl_repro::scenario::{Scenario, WorkloadSpec, PolicySpec};
+//! use harl_repro::prelude::*;
+//!
+//! let s = Scenario::new(WorkloadSpec::Ior(IorConfig::paper_default(
+//!         OpKind::Read, 64 << 20)))
+//!     .named("doc-example")
+//!     .with_policy(PolicySpec::Fixed(64 * 1024))
+//!     .with_seed(7);
+//! let report = s.run(&SimContext::new()).unwrap();
+//! assert!(report.throughput_mib_s > 0.0);
+//! ```
+//!
+//! Scenarios round-trip through JSON ([`Scenario::to_json_pretty`] /
+//! [`Scenario::from_json`]) and are validated before running: a file that
+//! parses but describes an impossible experiment (zero-size requests, a
+//! fault on a server that does not exist, …) is rejected with a reason.
+
+use harl_core::errors::LoadError;
+use harl_core::{
+    CostModelParams, FixedPolicy, HarlPolicy, LayoutPolicy, RandomPolicy, RegionStripeTable,
+    SegmentPolicy, ServerLevelPolicy, Trace,
+};
+use harl_middleware::{trace_plan_run, CollectiveConfig, Workload};
+use harl_pfs::ClusterConfig;
+use harl_simcore::{Degradation, SimContext, SimNanos};
+use harl_workloads::{replay, BtioConfig, IorConfig, MultiRegionIorConfig, PhasedConfig};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The cluster a scenario runs on.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum ClusterSpec {
+    /// The paper's testbed: 6 HServers + 2 SServers (JSON: `"Paper"`).
+    #[default]
+    Paper,
+    /// A hybrid cluster with the paper's device presets but custom counts
+    /// (JSON: `{"Hybrid": {...}}`).
+    Hybrid(HybridCluster),
+    /// A fully explicit [`ClusterConfig`] (JSON: `{"Explicit": {...}}`).
+    Explicit(ClusterConfig),
+}
+
+/// Geometry knobs for [`ClusterSpec::Hybrid`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HybridCluster {
+    /// Number of HDD-backed HServers.
+    pub hservers: usize,
+    /// Number of SSD-backed SServers.
+    pub sservers: usize,
+    /// Compute nodes (defaults to the paper's count when omitted).
+    #[serde(default)]
+    pub compute_nodes: Option<usize>,
+    /// Base RNG seed baked into the cluster (the scenario-level `seed`
+    /// field overrides this at run time).
+    #[serde(default)]
+    pub seed: Option<u64>,
+}
+
+/// The application driving I/O.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// IOR-style uniform requests (JSON: `{"Ior": {...}}`).
+    Ior(IorConfig),
+    /// IOR with per-region request sizes — the paper's Fig. 11 workload.
+    MultiRegionIor(MultiRegionIorConfig),
+    /// NAS BTIO-style collective checkpointing.
+    Btio(BtioConfig),
+    /// Explicit multi-phase workload.
+    Phased(PhasedConfig),
+    /// Replay a trace file previously saved with
+    /// [`Trace::save_to_path`](harl_core::Trace::save_to_path).
+    ReplayTrace(String),
+}
+
+/// The layout policy under test.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// Traditional fixed striping with this stripe size on every server
+    /// (JSON: `{"Fixed": 65536}`).
+    Fixed(u64),
+    /// Random per-region stripes drawn from this seed.
+    Random(u64),
+    /// Segment-level optimisation with this segment size (`h == s`).
+    Segment(u64),
+    /// Server-level: one optimised `(h, s)` pair for the whole file.
+    ServerLevel,
+    /// The paper's contribution: region-level HARL (JSON: `"Harl"`).
+    #[default]
+    Harl,
+}
+
+impl PolicySpec {
+    /// Stable label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            PolicySpec::Fixed(stripe) => format!("fixed-{stripe}"),
+            PolicySpec::Random(_) => "random".into(),
+            PolicySpec::Segment(size) => format!("segment-{size}"),
+            PolicySpec::ServerLevel => "server-level".into(),
+            PolicySpec::Harl => "harl".into(),
+        }
+    }
+}
+
+/// One injected server degradation, in human units (seconds, multiplier).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Server index (0-based, HServers first).
+    pub server: usize,
+    /// Service-time multiplier while active (2.0 = half speed).
+    pub slowdown: f64,
+    /// Start of the window in simulated seconds (default 0).
+    #[serde(default)]
+    pub from_s: f64,
+    /// End of the window in simulated seconds; `None` = permanent.
+    #[serde(default)]
+    pub until_s: Option<f64>,
+}
+
+impl FaultSpec {
+    fn to_degradation(&self) -> Degradation {
+        Degradation {
+            server: self.server,
+            from: SimNanos::from_secs_f64(self.from_s),
+            until: self.until_s.map_or(SimNanos::MAX, SimNanos::from_secs_f64),
+            slowdown: self.slowdown,
+        }
+    }
+}
+
+/// A complete, serialisable experiment description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name, echoed into the report.
+    #[serde(default)]
+    pub name: String,
+    /// The cluster (default: the paper's testbed).
+    #[serde(default)]
+    pub cluster: ClusterSpec,
+    /// The workload — the only mandatory field.
+    pub workload: WorkloadSpec,
+    /// The layout policy (default: HARL).
+    #[serde(default)]
+    pub policy: PolicySpec,
+    /// Injected server degradations, on top of any the cluster bakes in.
+    #[serde(default)]
+    pub faults: Vec<FaultSpec>,
+    /// Master RNG seed override (default: the cluster's own seed).
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Planner thread budget override (default: the policy's own).
+    #[serde(default)]
+    pub threads: Option<usize>,
+    /// Collective-I/O tuning (default: ROMIO-like defaults).
+    #[serde(default)]
+    pub collective: Option<CollectiveConfig>,
+}
+
+impl Scenario {
+    /// A scenario running `workload` under HARL on the paper's cluster.
+    pub fn new(workload: WorkloadSpec) -> Self {
+        Scenario {
+            name: String::new(),
+            cluster: ClusterSpec::default(),
+            workload,
+            policy: PolicySpec::default(),
+            faults: Vec::new(),
+            seed: None,
+            threads: None,
+            collective: None,
+        }
+    }
+
+    /// Set the name.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Set the cluster.
+    pub fn with_cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Set the policy.
+    pub fn with_policy(mut self, policy: PolicySpec) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Add one fault to the schedule.
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Set the master seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Set the planner thread budget.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Serialise as pretty JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario serialisation cannot fail")
+    }
+
+    /// Parse from JSON and validate.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let s: Scenario = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// Load from a JSON file and validate, with descriptive errors.
+    pub fn from_path(path: &Path) -> Result<Self, LoadError> {
+        let s: Scenario = harl_core::errors::read_json(path)?;
+        s.validate()
+            .map_err(|reason| LoadError::whole_file(path, reason))?;
+        Ok(s)
+    }
+
+    /// Check the scenario describes a runnable experiment.
+    pub fn validate(&self) -> Result<(), String> {
+        match &self.cluster {
+            ClusterSpec::Paper => {}
+            ClusterSpec::Hybrid(h) => {
+                if h.hservers + h.sservers == 0 {
+                    return Err("cluster must have at least one server".into());
+                }
+                if h.compute_nodes == Some(0) {
+                    return Err("cluster must have at least one compute node".into());
+                }
+            }
+            ClusterSpec::Explicit(c) => {
+                if c.server_count() == 0 {
+                    return Err("cluster must have at least one server".into());
+                }
+                if c.compute_nodes == 0 {
+                    return Err("cluster must have at least one compute node".into());
+                }
+            }
+        }
+        match &self.workload {
+            WorkloadSpec::Ior(c) => {
+                if c.processes == 0 {
+                    return Err("Ior workload needs at least one process".into());
+                }
+                if c.request_size == 0 {
+                    return Err("Ior request_size must be > 0".into());
+                }
+                if c.file_size < c.request_size {
+                    return Err("Ior file_size must be >= request_size".into());
+                }
+            }
+            WorkloadSpec::MultiRegionIor(c) => {
+                if c.processes == 0 {
+                    return Err("MultiRegionIor workload needs at least one process".into());
+                }
+                if c.regions.is_empty() {
+                    return Err("MultiRegionIor needs at least one region".into());
+                }
+                if c.regions.iter().any(|&(len, req)| len == 0 || req == 0) {
+                    return Err(
+                        "MultiRegionIor regions need non-zero length and request size".into(),
+                    );
+                }
+            }
+            WorkloadSpec::Btio(c) => {
+                if c.processes == 0 || c.grid == 0 || c.steps == 0 {
+                    return Err("Btio needs non-zero processes, grid and steps".into());
+                }
+            }
+            WorkloadSpec::Phased(c) => {
+                if c.processes == 0 {
+                    return Err("Phased workload needs at least one process".into());
+                }
+                if c.phases.is_empty() {
+                    return Err("Phased workload needs at least one phase".into());
+                }
+                if c.phases.iter().any(|p| p.request_size == 0) {
+                    return Err("Phased phases need non-zero request sizes".into());
+                }
+            }
+            WorkloadSpec::ReplayTrace(path) => {
+                if path.is_empty() {
+                    return Err("ReplayTrace needs a trace file path".into());
+                }
+            }
+        }
+        match self.policy {
+            PolicySpec::Fixed(0) => return Err("Fixed policy stripe must be > 0".into()),
+            PolicySpec::Segment(0) => return Err("Segment policy segment must be > 0".into()),
+            _ => {}
+        }
+        let servers = self.build_cluster().server_count();
+        for (i, f) in self.faults.iter().enumerate() {
+            if f.server >= servers {
+                return Err(format!(
+                    "fault {i} targets server {} but the cluster has {servers}",
+                    f.server
+                ));
+            }
+            if !(f.slowdown > 0.0 && f.slowdown.is_finite()) {
+                return Err(format!("fault {i} slowdown must be finite and > 0"));
+            }
+            if let Some(until) = f.until_s {
+                if until <= f.from_s {
+                    return Err(format!("fault {i} window is empty or inverted"));
+                }
+            }
+        }
+        if self.threads == Some(0) {
+            return Err("threads must be >= 1 when set".into());
+        }
+        Ok(())
+    }
+
+    /// Materialise the cluster.
+    pub fn build_cluster(&self) -> ClusterConfig {
+        match &self.cluster {
+            ClusterSpec::Paper => ClusterConfig::paper_default(),
+            ClusterSpec::Hybrid(h) => {
+                let mut c = ClusterConfig::hybrid(h.hservers, h.sservers);
+                if let Some(nodes) = h.compute_nodes {
+                    c = c.with_compute_nodes(nodes);
+                }
+                if let Some(seed) = h.seed {
+                    c = c.with_seed(seed);
+                }
+                c
+            }
+            ClusterSpec::Explicit(c) => c.clone(),
+        }
+    }
+
+    /// Materialise the workload (replay scenarios read their trace here).
+    pub fn build_workload(&self) -> Result<Workload, String> {
+        Ok(match &self.workload {
+            WorkloadSpec::Ior(c) => c.build(),
+            WorkloadSpec::MultiRegionIor(c) => c.build(),
+            WorkloadSpec::Btio(c) => c.build(),
+            WorkloadSpec::Phased(c) => c.build(),
+            WorkloadSpec::ReplayTrace(path) => {
+                let trace = Trace::load_from_path(Path::new(path)).map_err(|e| e.to_string())?;
+                replay(&trace)
+            }
+        })
+    }
+
+    /// Materialise the layout policy for `cluster`.
+    pub fn build_policy(&self, cluster: &ClusterConfig) -> Box<dyn LayoutPolicy> {
+        let model = || CostModelParams::from_cluster(cluster);
+        match self.policy {
+            PolicySpec::Fixed(stripe) => Box::new(FixedPolicy::new(stripe)),
+            PolicySpec::Random(seed) => Box::new(RandomPolicy::new(seed)),
+            PolicySpec::Segment(segment_size) => Box::new(SegmentPolicy {
+                model: model(),
+                segment_size,
+                optimizer: Default::default(),
+            }),
+            PolicySpec::ServerLevel => Box::new(ServerLevelPolicy::new(model())),
+            PolicySpec::Harl => Box::new(HarlPolicy::new(model())),
+        }
+    }
+
+    /// Fold the scenario's determinism knobs and fault plan into `base`.
+    ///
+    /// Explicit settings on `base` win over the scenario's (a caller that
+    /// pins a seed keeps it); scenario faults are appended to the base
+    /// plan.
+    pub fn context(&self, base: &SimContext) -> SimContext {
+        let mut ctx = base.clone();
+        if ctx.seed.is_none() {
+            ctx.seed = self.seed;
+        }
+        if ctx.threads.is_none() {
+            ctx.threads = self.threads;
+        }
+        ctx.faults
+            .extend(self.faults.iter().map(FaultSpec::to_degradation));
+        ctx
+    }
+
+    /// Run the full pipeline and summarise the outcome.
+    ///
+    /// The report is deterministic: the same scenario and seed produce
+    /// byte-identical JSON, independent of the thread budget.
+    pub fn run(&self, base: &SimContext) -> Result<ScenarioReport, String> {
+        self.validate()?;
+        let cluster = self.build_cluster();
+        let workload = self.build_workload()?;
+        let policy = self.build_policy(&cluster);
+        let ccfg = self.collective.unwrap_or_default();
+        let ctx = self.context(base);
+        let (rst, report) = trace_plan_run(&ctx, &cluster, policy.as_ref(), &workload, &ccfg);
+        Ok(ScenarioReport {
+            name: self.name.clone(),
+            policy: self.policy.label(),
+            seed: ctx.seed_or(cluster.seed),
+            regions: rst.len(),
+            file_size: rst.file_size(),
+            makespan_ns: report.makespan.as_nanos(),
+            throughput_mib_s: report.throughput_mib_s(),
+            bytes_read: report.bytes_read,
+            bytes_written: report.bytes_written,
+            requests_completed: report.requests_completed,
+            rst,
+        })
+    }
+}
+
+/// Deterministic summary of one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name, echoed from the spec.
+    pub name: String,
+    /// Policy label (see [`PolicySpec::label`]).
+    pub policy: String,
+    /// The seed the simulation actually used.
+    pub seed: u64,
+    /// Number of RST regions planned.
+    pub regions: usize,
+    /// Logical file size covered by the RST.
+    pub file_size: u64,
+    /// Simulated makespan in nanoseconds.
+    pub makespan_ns: u64,
+    /// End-to-end throughput.
+    pub throughput_mib_s: f64,
+    /// Bytes read by the workload.
+    pub bytes_read: u64,
+    /// Bytes written by the workload.
+    pub bytes_written: u64,
+    /// Physical requests completed by the PFS.
+    pub requests_completed: u64,
+    /// The planned layout itself.
+    pub rst: RegionStripeTable,
+}
+
+impl ScenarioReport {
+    /// Serialise as pretty JSON (the CLI/CI output format).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+
+    /// Parse a report back from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}

@@ -32,7 +32,7 @@ fn online_adaptation_converges_to_fresh_offline_plan() {
 
     let old_workload = ior(OpKind::Read, 512 * KIB, 1);
     let old_trace = collect_trace_lowered(&cluster, &old_workload, &ccfg);
-    let stale_rst = HarlPolicy::new(model.clone()).plan(&old_trace, FILE);
+    let stale_rst = HarlPolicy::new(model.clone()).plan(&SimContext::new(), &old_trace, FILE);
 
     let new_workload = ior(OpKind::Read, 128 * KIB, 2);
     let new_trace = collect_trace_lowered(&cluster, &new_workload, &ccfg);
@@ -53,7 +53,7 @@ fn online_adaptation_converges_to_fresh_offline_plan() {
 
     // Self-consistency: the online re-plan lands on the offline optimum
     // for the new pattern.
-    let fresh = HarlPolicy::new(model).plan(&new_trace, FILE);
+    let fresh = HarlPolicy::new(model).plan(&SimContext::new(), &new_trace, FILE);
     assert_eq!(
         (adapted_rst.entries()[0].h, adapted_rst.entries()[0].s),
         (fresh.entries()[0].h, fresh.entries()[0].s),
@@ -62,8 +62,14 @@ fn online_adaptation_converges_to_fresh_offline_plan() {
 
     // And it still beats the traditional default on the new pattern.
     let default = RegionStripeTable::single(FILE, 64 * KIB, 64 * KIB);
-    let adapted_run = run_workload(&cluster, &adapted_rst, &new_workload, &ccfg);
-    let default_run = run_workload(&cluster, &default, &new_workload, &ccfg);
+    let adapted_run = run_workload(
+        &SimContext::new(),
+        &cluster,
+        &adapted_rst,
+        &new_workload,
+        &ccfg,
+    );
+    let default_run = run_workload(&SimContext::new(), &cluster, &default, &new_workload, &ccfg);
     assert!(
         adapted_run.throughput_mib_s() > default_run.throughput_mib_s(),
         "adapted {:.0} vs default {:.0}",
@@ -87,14 +93,24 @@ fn multiapp_per_app_planning_beats_shared_default() {
     let model = CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
     let plan = |w: &Workload| {
         let trace = collect_trace_lowered(&cluster, w, &ccfg);
-        HarlPolicy::new(model.clone()).plan(&trace, FILE)
+        HarlPolicy::new(model.clone()).plan(&SimContext::new(), &trace, FILE)
     };
     let rst1 = plan(&app1);
     let rst2 = plan(&app2);
     let default = RegionStripeTable::single(FILE, 64 * KIB, 64 * KIB);
 
-    let harl = run_shared(&cluster, &[(&rst1, &app1), (&rst2, &app2)], &ccfg);
-    let base = run_shared(&cluster, &[(&default, &app1), (&default, &app2)], &ccfg);
+    let harl = run_shared(
+        &SimContext::new(),
+        &cluster,
+        &[(&rst1, &app1), (&rst2, &app2)],
+        &ccfg,
+    );
+    let base = run_shared(
+        &SimContext::new(),
+        &cluster,
+        &[(&default, &app1), (&default, &app2)],
+        &ccfg,
+    );
     assert!(
         harl.combined.throughput_mib_s() > 1.3 * base.combined.throughput_mib_s(),
         "per-app HARL under contention: {:.0} vs {:.0}",
@@ -116,8 +132,8 @@ fn straggler_injection_visible_end_to_end() {
 
     let healthy = ClusterConfig::paper_default();
     let degraded = ClusterConfig::paper_default().with_degradation(Degradation::permanent(6, 4.0));
-    let a = run_workload(&healthy, &rst, &w, &ccfg);
-    let b = run_workload(&degraded, &rst, &w, &ccfg);
+    let a = run_workload(&SimContext::new(), &healthy, &rst, &w, &ccfg);
+    let b = run_workload(&SimContext::new(), &degraded, &rst, &w, &ccfg);
     assert!(
         b.throughput_mib_s() < 0.6 * a.throughput_mib_s(),
         "an SServer straggler must hurt an SSD-heavy layout"
@@ -175,7 +191,7 @@ fn metadata_stays_bounded_on_adversarial_trace() {
     }
     let file_size = 2048 * 2 * MIB; // 4 GiB
     let trace = Trace::from_records(records);
-    let rst = HarlPolicy::new(model).plan(&trace, file_size);
+    let rst = HarlPolicy::new(model).plan(&SimContext::new(), &trace, file_size);
     let max_regions = file_size.div_ceil(64 << 20);
     assert!(
         (rst.len() as u64) <= max_regions,

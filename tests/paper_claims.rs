@@ -34,6 +34,7 @@ fn fig1a_hservers_dominate_io_time() {
     let cluster = ClusterConfig::paper_default();
     let w = ior(OpKind::Read, 16, 512 * KIB, FILE);
     let (_, report) = trace_plan_run(
+        &SimContext::new(),
         &cluster,
         &FixedPolicy::new(64 * KIB),
         &w,
@@ -60,7 +61,13 @@ fn fig1b_no_universal_fixed_stripe() {
         stripes
             .iter()
             .map(|&s| {
-                let (_, r) = trace_plan_run(&cluster, &FixedPolicy::new(s), &w, &ccfg);
+                let (_, r) = trace_plan_run(
+                    &SimContext::new(),
+                    &cluster,
+                    &FixedPolicy::new(s),
+                    &w,
+                    &ccfg,
+                );
                 (s, r.throughput_mib_s())
             })
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
@@ -83,9 +90,15 @@ fn fig7_harl_wins_both_directions() {
     let ccfg = CollectiveConfig::default();
     for op in OpKind::ALL {
         let w = ior(op, 16, 512 * KIB, FILE);
-        let (_, h) = trace_plan_run(&cluster, &harl_for(&cluster), &w, &ccfg);
+        let (_, h) = trace_plan_run(&SimContext::new(), &cluster, &harl_for(&cluster), &w, &ccfg);
         for &stripe in &[16 * KIB, 64 * KIB, 256 * KIB, 1024 * KIB, 2048 * KIB] {
-            let (_, f) = trace_plan_run(&cluster, &FixedPolicy::new(stripe), &w, &ccfg);
+            let (_, f) = trace_plan_run(
+                &SimContext::new(),
+                &cluster,
+                &FixedPolicy::new(stripe),
+                &w,
+                &ccfg,
+            );
             assert!(
                 h.throughput_mib_s() >= f.throughput_mib_s(),
                 "{op}: HARL lost to fixed {}",
@@ -93,7 +106,13 @@ fn fig7_harl_wins_both_directions() {
             );
         }
         for seed in [1, 2] {
-            let (_, r) = trace_plan_run(&cluster, &RandomPolicy::new(seed), &w, &ccfg);
+            let (_, r) = trace_plan_run(
+                &SimContext::new(),
+                &cluster,
+                &RandomPolicy::new(seed),
+                &w,
+                &ccfg,
+            );
             assert!(h.throughput_mib_s() >= r.throughput_mib_s());
         }
     }
@@ -106,6 +125,7 @@ fn fig7_read_optimum_is_32k_160k() {
     let cluster = ClusterConfig::paper_default();
     let w = ior(OpKind::Read, 16, 512 * KIB, FILE);
     let (rst, _) = trace_plan_run(
+        &SimContext::new(),
         &cluster,
         &harl_for(&cluster),
         &w,
@@ -127,12 +147,24 @@ fn fig9_small_requests_ssd_only_large_requests_mixed() {
     let ccfg = CollectiveConfig::default();
 
     let w_small = ior(OpKind::Read, 16, 128 * KIB, FILE);
-    let (rst_small, _) = trace_plan_run(&cluster, &harl_for(&cluster), &w_small, &ccfg);
+    let (rst_small, _) = trace_plan_run(
+        &SimContext::new(),
+        &cluster,
+        &harl_for(&cluster),
+        &w_small,
+        &ccfg,
+    );
     let e = rst_small.entries()[0];
     assert_eq!((e.h, e.s), (0, 64 * KIB), "paper: {{0K, 64K}} at 128 KiB");
 
     let w_large = ior(OpKind::Read, 16, 1024 * KIB, FILE);
-    let (rst_large, _) = trace_plan_run(&cluster, &harl_for(&cluster), &w_large, &ccfg);
+    let (rst_large, _) = trace_plan_run(
+        &SimContext::new(),
+        &cluster,
+        &harl_for(&cluster),
+        &w_large,
+        &ccfg,
+    );
     let e = rst_large.entries()[0];
     assert!(e.h > 0, "1024 KiB requests should use both classes");
     assert!(e.s > e.h);
@@ -147,8 +179,14 @@ fn fig10_ssd_rich_cluster_goes_ssd_only() {
     let improvement = |m: usize, n: usize| -> (f64, u64) {
         let cluster = ClusterConfig::hybrid(m, n);
         let w = ior(OpKind::Read, 16, 512 * KIB, FILE);
-        let (rst, h) = trace_plan_run(&cluster, &harl_for(&cluster), &w, &ccfg);
-        let (_, d) = trace_plan_run(&cluster, &FixedPolicy::new(64 * KIB), &w, &ccfg);
+        let (rst, h) = trace_plan_run(&SimContext::new(), &cluster, &harl_for(&cluster), &w, &ccfg);
+        let (_, d) = trace_plan_run(
+            &SimContext::new(),
+            &cluster,
+            &FixedPolicy::new(64 * KIB),
+            &w,
+            &ccfg,
+        );
         (
             h.throughput_mib_s() / d.throughput_mib_s(),
             rst.entries()[0].h,
@@ -174,7 +212,7 @@ fn fig11_nonuniform_workload_gets_regions() {
     // caps the region count accordingly (64 MiB at paper scale -> 4 MiB).
     let mut policy = harl_for(&cluster);
     policy.division.fixed_region_size = 4 << 20;
-    let (rst, h) = trace_plan_run(&cluster, &policy, &w, &ccfg);
+    let (rst, h) = trace_plan_run(&SimContext::new(), &cluster, &policy, &w, &ccfg);
     assert!(
         rst.len() >= 2,
         "expected region division to find the phases, got {} region(s)",
@@ -184,7 +222,13 @@ fn fig11_nonuniform_workload_gets_regions() {
         rst.entries().iter().map(|e| (e.h, e.s)).collect();
     assert!(layouts.len() >= 2, "regions should get distinct layouts");
     for &stripe in &[16 * KIB, 64 * KIB, 256 * KIB] {
-        let (_, f) = trace_plan_run(&cluster, &FixedPolicy::new(stripe), &w, &ccfg);
+        let (_, f) = trace_plan_run(
+            &SimContext::new(),
+            &cluster,
+            &FixedPolicy::new(stripe),
+            &w,
+            &ccfg,
+        );
         assert!(h.throughput_mib_s() > f.throughput_mib_s());
     }
 }
@@ -199,8 +243,14 @@ fn fig12_btio_improves_at_all_process_counts() {
         let mut cfg = BtioConfig::paper_default(procs);
         cfg.grid = 40;
         let w = cfg.build();
-        let (_, h) = trace_plan_run(&cluster, &harl_for(&cluster), &w, &ccfg);
-        let (_, d) = trace_plan_run(&cluster, &FixedPolicy::new(64 * KIB), &w, &ccfg);
+        let (_, h) = trace_plan_run(&SimContext::new(), &cluster, &harl_for(&cluster), &w, &ccfg);
+        let (_, d) = trace_plan_run(
+            &SimContext::new(),
+            &cluster,
+            &FixedPolicy::new(64 * KIB),
+            &w,
+            &ccfg,
+        );
         assert!(
             h.throughput_mib_s() > d.throughput_mib_s(),
             "BTIO at {procs} procs: HARL {:.0} vs default {:.0}",
@@ -218,7 +268,8 @@ fn harl_balances_completion_times() {
     let cluster = ClusterConfig::paper_default();
     let w = ior(OpKind::Read, 16, 512 * KIB, FILE);
     let ccfg = CollectiveConfig::default();
-    let (rst, report) = trace_plan_run(&cluster, &harl_for(&cluster), &w, &ccfg);
+    let (rst, report) =
+        trace_plan_run(&SimContext::new(), &cluster, &harl_for(&cluster), &w, &ccfg);
     let e = rst.entries()[0];
     assert!(e.s > e.h, "SServer stripe must exceed HServer stripe");
     assert!(
@@ -238,7 +289,7 @@ fn discussion_space_balancing_respects_budget() {
     let ccfg = CollectiveConfig::default();
     let trace = collect_trace_lowered(&cluster, &w, &ccfg);
     let model = CostModelParams::from_cluster_calibrated(&cluster, &CalibrationConfig::default());
-    let rst = HarlPolicy::new(model.clone()).plan(&trace, FILE);
+    let rst = HarlPolicy::new(model.clone()).plan(&SimContext::new(), &trace, FILE);
     let unconstrained = projected_sserver_bytes(&model, &rst);
     let balancer = SpaceBalancer {
         model: model.clone(),
@@ -248,8 +299,14 @@ fn discussion_space_balancing_respects_budget() {
     let outcome = balancer.balance(&rst, &trace.sorted_by_offset());
     assert!(outcome.sserver_bytes_after < unconstrained);
     // The balanced plan still beats the 64 KiB default.
-    let balanced = run_workload(&cluster, &outcome.rst, &w, &ccfg);
-    let (_, default_run) = trace_plan_run(&cluster, &FixedPolicy::new(64 * KIB), &w, &ccfg);
+    let balanced = run_workload(&SimContext::new(), &cluster, &outcome.rst, &w, &ccfg);
+    let (_, default_run) = trace_plan_run(
+        &SimContext::new(),
+        &cluster,
+        &FixedPolicy::new(64 * KIB),
+        &w,
+        &ccfg,
+    );
     assert!(
         balanced.throughput_mib_s() > default_run.throughput_mib_s(),
         "space-balanced HARL should still beat the default"

@@ -29,8 +29,14 @@ fn harl_beats_default_for_reads() {
     let cluster = ClusterConfig::paper_default();
     let w = ior(OpKind::Read, 16, 512 * KIB);
     let ccfg = CollectiveConfig::default();
-    let (_, h) = trace_plan_run(&cluster, &harl(&cluster), &w, &ccfg);
-    let (_, d) = trace_plan_run(&cluster, &FixedPolicy::new(64 * KIB), &w, &ccfg);
+    let (_, h) = trace_plan_run(&SimContext::new(), &cluster, &harl(&cluster), &w, &ccfg);
+    let (_, d) = trace_plan_run(
+        &SimContext::new(),
+        &cluster,
+        &FixedPolicy::new(64 * KIB),
+        &w,
+        &ccfg,
+    );
     let gain = h.throughput_mib_s() / d.throughput_mib_s();
     assert!(
         gain > 1.3,
@@ -46,8 +52,14 @@ fn harl_beats_default_for_writes() {
     let cluster = ClusterConfig::paper_default();
     let w = ior(OpKind::Write, 16, 512 * KIB);
     let ccfg = CollectiveConfig::default();
-    let (_, h) = trace_plan_run(&cluster, &harl(&cluster), &w, &ccfg);
-    let (_, d) = trace_plan_run(&cluster, &FixedPolicy::new(64 * KIB), &w, &ccfg);
+    let (_, h) = trace_plan_run(&SimContext::new(), &cluster, &harl(&cluster), &w, &ccfg);
+    let (_, d) = trace_plan_run(
+        &SimContext::new(),
+        &cluster,
+        &FixedPolicy::new(64 * KIB),
+        &w,
+        &ccfg,
+    );
     assert!(h.throughput_mib_s() > 1.3 * d.throughput_mib_s());
 }
 
@@ -57,9 +69,15 @@ fn harl_at_least_matches_every_fixed_stripe() {
     let ccfg = CollectiveConfig::default();
     for &req in &[128 * KIB, 512 * KIB, 1024 * KIB] {
         let w = ior(OpKind::Read, 16, req);
-        let (_, h) = trace_plan_run(&cluster, &harl(&cluster), &w, &ccfg);
+        let (_, h) = trace_plan_run(&SimContext::new(), &cluster, &harl(&cluster), &w, &ccfg);
         for &stripe in &[16 * KIB, 64 * KIB, 256 * KIB, 1024 * KIB, 2048 * KIB] {
-            let (_, f) = trace_plan_run(&cluster, &FixedPolicy::new(stripe), &w, &ccfg);
+            let (_, f) = trace_plan_run(
+                &SimContext::new(),
+                &cluster,
+                &FixedPolicy::new(stripe),
+                &w,
+                &ccfg,
+            );
             assert!(
                 h.throughput_mib_s() >= 0.98 * f.throughput_mib_s(),
                 "HARL ({:.0}) lost to fixed {} ({:.0}) at request size {}",
@@ -77,8 +95,8 @@ fn end_to_end_is_deterministic() {
     let cluster = ClusterConfig::paper_default();
     let w = ior(OpKind::Read, 8, 512 * KIB);
     let ccfg = CollectiveConfig::default();
-    let (rst1, r1) = trace_plan_run(&cluster, &harl(&cluster), &w, &ccfg);
-    let (rst2, r2) = trace_plan_run(&cluster, &harl(&cluster), &w, &ccfg);
+    let (rst1, r1) = trace_plan_run(&SimContext::new(), &cluster, &harl(&cluster), &w, &ccfg);
+    let (rst2, r2) = trace_plan_run(&SimContext::new(), &cluster, &harl(&cluster), &w, &ccfg);
     assert_eq!(rst1, rst2);
     assert_eq!(r1.makespan, r2.makespan);
     assert_eq!(r1.bytes_read, r2.bytes_read);
@@ -97,7 +115,7 @@ fn bytes_are_conserved_through_the_stack() {
     let (t_read, t_written) = trace.total_bytes();
     assert_eq!((t_read, t_written), (expected_read, expected_written));
 
-    let (_, report) = trace_plan_run(&cluster, &harl(&cluster), &w, &ccfg);
+    let (_, report) = trace_plan_run(&SimContext::new(), &cluster, &harl(&cluster), &w, &ccfg);
     assert_eq!(report.bytes_read, expected_read);
     assert_eq!(report.bytes_written, expected_written);
 
@@ -118,8 +136,14 @@ fn btio_pipeline_with_collectives() {
     };
     let w = cfg.build();
     let ccfg = CollectiveConfig::default();
-    let (_, h) = trace_plan_run(&cluster, &harl(&cluster), &w, &ccfg);
-    let (_, d) = trace_plan_run(&cluster, &FixedPolicy::new(64 * KIB), &w, &ccfg);
+    let (_, h) = trace_plan_run(&SimContext::new(), &cluster, &harl(&cluster), &w, &ccfg);
+    let (_, d) = trace_plan_run(
+        &SimContext::new(),
+        &cluster,
+        &FixedPolicy::new(64 * KIB),
+        &w,
+        &ccfg,
+    );
     assert_eq!(h.bytes_written, cfg.file_size());
     assert_eq!(h.bytes_read, cfg.file_size());
     assert!(
@@ -138,8 +162,8 @@ fn replayed_trace_reproduces_workload_behaviour() {
     let trace = collect_trace(&w);
     let replayed = replay(&trace);
     let rst = RegionStripeTable::single(QUICK_FILE, 64 * KIB, 64 * KIB);
-    let a = run_workload(&cluster, &rst, &w, &ccfg);
-    let b = run_workload(&cluster, &rst, &replayed, &ccfg);
+    let a = run_workload(&SimContext::new(), &cluster, &rst, &w, &ccfg);
+    let b = run_workload(&SimContext::new(), &cluster, &rst, &replayed, &ccfg);
     assert_eq!(a.bytes_read, b.bytes_read);
     assert_eq!(
         a.makespan, b.makespan,
@@ -152,7 +176,7 @@ fn rst_artifacts_round_trip_and_still_run() {
     let cluster = ClusterConfig::paper_default();
     let w = ior(OpKind::Read, 8, 128 * KIB);
     let ccfg = CollectiveConfig::default();
-    let (rst, before) = trace_plan_run(&cluster, &harl(&cluster), &w, &ccfg);
+    let (rst, before) = trace_plan_run(&SimContext::new(), &cluster, &harl(&cluster), &w, &ccfg);
 
     let dir = std::env::temp_dir().join("harl-integration");
     std::fs::create_dir_all(&dir).unwrap();
@@ -162,7 +186,7 @@ fn rst_artifacts_round_trip_and_still_run() {
     std::fs::remove_file(&path).ok();
     assert_eq!(reloaded, rst);
 
-    let after = run_workload(&cluster, &reloaded, &w, &ccfg);
+    let after = run_workload(&SimContext::new(), &cluster, &reloaded, &w, &ccfg);
     assert_eq!(after.makespan, before.makespan);
 }
 
@@ -173,7 +197,13 @@ fn zero_h_regions_keep_hservers_idle() {
     let cluster = ClusterConfig::paper_default();
     let rst = RegionStripeTable::single(QUICK_FILE, 0, 64 * KIB);
     let w = ior(OpKind::Read, 8, 128 * KIB);
-    let report = run_workload(&cluster, &rst, &w, &CollectiveConfig::default());
+    let report = run_workload(
+        &SimContext::new(),
+        &cluster,
+        &rst,
+        &w,
+        &CollectiveConfig::default(),
+    );
     for server in &report.servers[..6] {
         assert_eq!(server.disk_jobs, 0, "HServer {} was used", server.id);
         assert_eq!(server.bytes, 0);
@@ -195,7 +225,7 @@ fn mixed_read_write_workload_runs() {
         }
     }
     let ccfg = CollectiveConfig::default();
-    let (rst, report) = trace_plan_run(&cluster, &harl(&cluster), &w, &ccfg);
+    let (rst, report) = trace_plan_run(&SimContext::new(), &cluster, &harl(&cluster), &w, &ccfg);
     assert!(!rst.is_empty());
     assert_eq!(report.bytes_read, report.bytes_written);
     assert!(report.read_latency.count() > 0 && report.write_latency.count() > 0);
@@ -214,7 +244,7 @@ fn k_profile_cluster_simulates() {
     for i in 0..32u64 {
         prog.push_request(PhysRequest::read(0, i * 512 * KIB, 512 * KIB));
     }
-    let report = simulate(&cluster, &[layout], &[prog]);
+    let report = simulate(&SimContext::new(), &cluster, &[layout], &[prog]);
     assert_eq!(report.bytes_read, 32 * 512 * KIB);
     assert!(report.servers.iter().all(|s| s.bytes > 0));
 }

@@ -202,7 +202,7 @@ proptest! {
                 prog.push_request(PhysRequest::write(0, offset, size));
             }
         }
-        let report = simulate(&cluster, &[layout], &[prog]);
+        let report = simulate(&SimContext::new(), &cluster, &[layout], &[prog]);
         prop_assert_eq!(report.bytes_read, read);
         prop_assert_eq!(report.bytes_written, written);
         prop_assert_eq!(report.requests_completed as usize, reqs.len());
