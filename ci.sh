@@ -10,6 +10,9 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== harl-lint =="
+cargo run -q -p harl-lint -- --root .
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -13,6 +13,7 @@
 //! harl-cli bench-planning [--json] [--quick] [--threads T] [--out path]
 //! harl-cli run --scenario scenario.json [--out report.json] [--seed S]
 //!              [--threads T]
+//! harl-cli lint [--root DIR] [--json]
 //! ```
 //!
 //! Sizes accept suffixes `K`, `M`, `G` (binary).
@@ -45,7 +46,8 @@ fn usage() -> ! {
          harl-cli inspect <rst.json>\n  harl-cli simulate <trace.jsonl> <rst.json> \
          [--hservers M] [--sservers N] [--metrics-out metrics.jsonl] [--trace-out trace.json]\n  \
          harl-cli bench-planning [--json] [--quick] [--threads T] [--out path]\n  \
-         harl-cli run --scenario scenario.json [--out report.json] [--seed S] [--threads T]"
+         harl-cli run --scenario scenario.json [--out report.json] [--seed S] [--threads T]\n  \
+         harl-cli lint [--root DIR] [--json]"
     );
     std::process::exit(2);
 }
@@ -76,6 +78,7 @@ struct Opts {
     threads: Option<usize>,
     scenario: Option<PathBuf>,
     seed: Option<u64>,
+    root: Option<PathBuf>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -93,6 +96,7 @@ fn parse_opts(args: &[String]) -> Opts {
         threads: None,
         scenario: None,
         seed: None,
+        root: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -139,6 +143,7 @@ fn parse_opts(args: &[String]) -> Opts {
                     usage();
                 }
             }
+            "--root" => opts.root = Some(it.next().map(PathBuf::from).unwrap_or_else(|| usage())),
             "--region-size" => {
                 opts.region_size = it.next().and_then(|v| parse_size(v));
                 if opts.region_size.is_none() {
@@ -454,6 +459,26 @@ fn cmd_run(opts: &Opts) {
     }
 }
 
+fn cmd_lint(opts: &Opts) {
+    if !opts.positional.is_empty() {
+        usage();
+    }
+    let root = opts.root.clone().unwrap_or_else(|| PathBuf::from("."));
+    let allow = root.join("lint.allow.toml");
+    let report = harl_lint::run(&root, &allow).unwrap_or_else(|e| {
+        eprintln!("harl-lint: {e}");
+        std::process::exit(2);
+    });
+    if opts.json {
+        print!("{}", harl_lint::render_json(&report));
+    } else {
+        print!("{}", harl_lint::render_human(&report));
+    }
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -467,6 +492,7 @@ fn main() {
         "simulate" => cmd_simulate(&opts),
         "bench-planning" => cmd_bench_planning(&opts),
         "run" => cmd_run(&opts),
+        "lint" => cmd_lint(&opts),
         _ => usage(),
     }
 }

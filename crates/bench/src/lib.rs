@@ -11,8 +11,7 @@
 //! invariant because all runs reach steady state within a few hundred
 //! requests.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+// missing_docs / rust_2018_idioms come from [workspace.lints].
 
 pub mod ablations;
 pub mod figures;

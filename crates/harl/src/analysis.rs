@@ -7,6 +7,7 @@
 //! operator-facing reports (the `harl-cli trace-info` command) and for
 //! sanity checks before trusting a trace to drive placement.
 
+use crate::cast::f64_to_u64;
 use crate::region::Region;
 use crate::trace::{Trace, TraceRecord};
 use harl_devices::OpKind;
@@ -62,7 +63,7 @@ impl TraceSummary {
             self.read_fraction * 100.0,
             ByteSize(self.min_size),
             ByteSize(self.max_size),
-            ByteSize(self.mean_size as u64),
+            ByteSize(f64_to_u64(self.mean_size)),
             self.size_cv,
             ByteSize(self.extent),
             self.sequentiality * 100.0,
@@ -160,6 +161,9 @@ pub fn size_histogram(trace: &Trace) -> Histogram {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values: outputs are deterministic by design.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use harl_simcore::SimNanos;
 

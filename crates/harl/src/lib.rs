@@ -19,15 +19,27 @@
 //! two server performance profiles) and [`online`] (on-line drift
 //! detection and re-layout).
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+// missing_docs / rust_2018_idioms come from [workspace.lints]. The
+// cfg_attr tier mirrors harl-lint's panic-hygiene rule at compile time
+// for library code; unit tests compile under cfg(test) and stay exempt.
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
+// The cost-model modules (Sec. III-D, Eqs. 1–8) carry the strictest
+// numeric tier, backing harl-lint's cast-hygiene and float-eq rules with
+// type-aware clippy checks.
+#[warn(clippy::float_cmp, clippy::cast_possible_truncation)]
 pub mod analysis;
+pub(crate) mod cast;
 pub mod errors;
 pub mod migration;
+#[warn(clippy::float_cmp, clippy::cast_possible_truncation)]
 pub mod model;
 pub mod multiprofile;
 pub mod online;
+#[warn(clippy::float_cmp, clippy::cast_possible_truncation)]
 pub mod optimizer;
 pub mod policy;
 pub mod region;

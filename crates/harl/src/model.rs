@@ -23,6 +23,7 @@
 //! case-(a) table as [`case_a_params`] so tests can confirm all three
 //! agree on their domains.
 
+use crate::cast::{i64_to_u64, i64_to_usize, u64_to_i64, u64_to_usize, usize_to_i64, usize_to_u64};
 use harl_devices::{NetworkProfile, OpKind, OpParams, StorageProfile};
 use harl_pfs::ClusterConfig;
 use serde::{Deserialize, Serialize};
@@ -270,14 +271,14 @@ pub fn server_loads(
             n: 0,
         };
     }
-    let group = m_servers as u64 * h + n_servers as u64 * s;
+    let group = usize_to_u64(m_servers) * h + usize_to_u64(n_servers) * s;
     assert!(group > 0, "layout has no capacity (M*h + N*s == 0)");
     let end = offset + size;
     // One division pair per endpoint, shared by both classes.
     let dq = end / group - offset / group;
     let (r_o, r_e) = (offset % group, end % group);
     let (s_m, m) = class_span_loads(dq, r_o, r_e, 0, h, m_servers);
-    let (s_n, n) = class_span_loads(dq, r_o, r_e, m_servers as u64 * h, s, n_servers);
+    let (s_n, n) = class_span_loads(dq, r_o, r_e, usize_to_u64(m_servers) * h, s, n_servers);
     ServerLoads { s_m, m, s_n, n }
 }
 
@@ -304,14 +305,14 @@ pub fn server_loads_scan(
             n: 0,
         };
     }
-    let group = m_servers as u64 * h + n_servers as u64 * s;
+    let group = usize_to_u64(m_servers) * h + usize_to_u64(n_servers) * s;
     assert!(group > 0, "layout has no capacity (M*h + N*s == 0)");
     let end = offset + size;
 
     let mut s_m = 0;
     let mut m = 0;
     for i in 0..m_servers {
-        let base = i as u64 * h;
+        let base = usize_to_u64(i) * h;
         let b = bytes_below(end, group, base, h) - bytes_below(offset, group, base, h);
         if b > 0 {
             m += 1;
@@ -320,9 +321,9 @@ pub fn server_loads_scan(
     }
     let mut s_n = 0;
     let mut n = 0;
-    let s_base0 = m_servers as u64 * h;
+    let s_base0 = usize_to_u64(m_servers) * h;
     for j in 0..n_servers {
-        let base = s_base0 + j as u64 * s;
+        let base = s_base0 + usize_to_u64(j) * s;
         let b = bytes_below(end, group, base, s) - bytes_below(offset, group, base, s);
         if b > 0 {
             n += 1;
@@ -356,10 +357,10 @@ pub(crate) fn class_span_loads(
     if w == 0 || count == 0 {
         return (0, 0);
     }
-    let c = count as u64;
+    let c = usize_to_u64(count);
     // Signed 64-bit intermediates: valid for byte spans below 2^63, the
     // same implicit domain as the scan's `offset + size` arithmetic.
-    let d = (dq * w) as i64;
+    let d = u64_to_i64(dq * w);
 
     // Fragment index and partial bytes of one endpoint residue, with
     // virtual indices −1 (before the class span) and `count` (at/after it).
@@ -367,10 +368,10 @@ pub(crate) fn class_span_loads(
         if r <= base0 {
             (-1, 0)
         } else if r >= base0 + c * w {
-            (c as i64, 0)
+            (u64_to_i64(c), 0)
         } else {
             let q = (r - base0) / w;
-            (q as i64, (r - base0 - q * w) as i64)
+            (u64_to_i64(q), u64_to_i64(r - base0 - q * w))
         }
     };
     let (k_o, p_o) = point(r_o);
@@ -379,25 +380,25 @@ pub(crate) fn class_span_loads(
     // Real servers strictly between indices `a` and `b` (exclusive).
     let between = |a: i64, b: i64| -> u64 {
         let lo = (a + 1).max(0);
-        let hi = (b - 1).min(c as i64 - 1);
+        let hi = (b - 1).min(u64_to_i64(c) - 1);
         if hi >= lo {
-            (hi - lo + 1) as u64
+            i64_to_u64(hi - lo + 1)
         } else {
             0
         }
     };
-    let real = |k: i64| -> u64 { u64::from(k >= 0 && k < c as i64) };
+    let real = |k: i64| -> u64 { u64::from(k >= 0 && k < u64_to_i64(c)) };
 
     // (load, how many servers hold it) — at most four segments.
     let mut segs = [(0i64, 0u64); 4];
-    let w = w as i64;
+    let w = u64_to_i64(w);
     if k_o < k_e {
-        segs[0] = (d, between(-1, k_o) + between(k_e, c as i64));
+        segs[0] = (d, between(-1, k_o) + between(k_e, u64_to_i64(c)));
         segs[1] = (d + w - p_o, real(k_o));
         segs[2] = (d + w, between(k_o, k_e));
         segs[3] = (d + p_e, real(k_e));
     } else if k_o > k_e {
-        segs[0] = (d, between(-1, k_e) + between(k_o, c as i64));
+        segs[0] = (d, between(-1, k_e) + between(k_o, u64_to_i64(c)));
         segs[1] = (d + p_e - w, real(k_e));
         segs[2] = (d - w, between(k_e, k_o));
         segs[3] = (d - p_o, real(k_o));
@@ -414,7 +415,7 @@ pub(crate) fn class_span_loads(
             max_load = max_load.max(load);
         }
     }
-    (max_load as u64, touched as usize)
+    (i64_to_u64(max_load), u64_to_usize(touched))
 }
 
 /// The paper's Fig. 5 case-(a) table: `(s_m, s_n, m, n)` when both the
@@ -447,8 +448,8 @@ pub fn case_a_params(
     if size == 0 || h == 0 {
         return None;
     }
-    let m_total = m_servers as u64 * h;
-    let group = m_total + n_servers as u64 * s;
+    let m_total = usize_to_u64(m_servers) * h;
+    let group = m_total + usize_to_u64(n_servers) * s;
     let end = offset + size;
 
     let r_b = offset / group;
@@ -464,18 +465,18 @@ pub fn case_a_params(
     if l_e.is_multiple_of(h) {
         return None;
     }
-    let n_b = (l_b / h) as usize;
-    let n_e = (l_e / h) as usize;
+    let n_b = u64_to_usize(l_b / h);
+    let n_e = u64_to_usize(l_e / h);
     let s_b = h - l_b % h; // remaining bytes of the beginning stripe
     let s_e = l_e % h; // bytes consumed of the ending stripe
     let d_r = r_e - r_b;
-    let d_c = n_e as i64 - n_b as i64;
+    let d_c = usize_to_i64(n_e) - usize_to_i64(n_b);
 
     let loads = if d_r == 0 {
         let (s_m, m) = match d_c {
             0 => (size, 1),
             1 => (s_b.max(s_e), 2),
-            c if c > 1 => (h, (c + 1) as usize),
+            c if c > 1 => (h, i64_to_usize(c + 1)),
             _ => return None, // negative Δc impossible within one group
         };
         ServerLoads {
@@ -507,7 +508,7 @@ pub fn case_a_params(
             ServerLoads {
                 s_m: d_r * h,
                 m: if d_c < -1 {
-                    (m_servers as i64 + 1 + d_c) as usize
+                    i64_to_usize(usize_to_i64(m_servers) + 1 + d_c)
                 } else {
                     m_servers
                 },
@@ -521,6 +522,9 @@ pub fn case_a_params(
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values: outputs are deterministic by design.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use harl_devices::{hdd_2015_preset, ssd_2015_preset, NetworkProfile};
 

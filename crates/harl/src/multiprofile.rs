@@ -264,14 +264,17 @@ impl MultiProfileOptimizer {
                     .any(|(c, &wi)| c.count > 0 && wi > 0)
             })
             .map(|start| self.descend(sample, start, step, r_bar))
-            .reduce(|a, b| {
+            // The infinite-cost sentinel loses to every real descent (and
+            // on a cost tie, any non-empty widths vector orders above the
+            // empty one), so it only surfaces if no start survives the
+            // filter — impossible for a cluster with servers.
+            .fold((Vec::new(), f64::INFINITY), |a, b| {
                 if b.1 < a.1 || (b.1 == a.1 && b.0 > a.0) {
                     b
                 } else {
                     a
                 }
             })
-            .expect("at least one valid start")
     }
 
     /// One coordinate-descent run from a fixed starting point.

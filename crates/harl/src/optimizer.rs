@@ -42,6 +42,7 @@
 //!   the incumbent on cost and is never reported, leaving the winner (and
 //!   its exact summation order) unchanged.
 
+use crate::cast::{u64_to_usize, usize_to_u64};
 use crate::model::CostModelParams;
 use crate::trace::TraceRecord;
 use harl_simcore::SimContext;
@@ -81,7 +82,7 @@ impl OptimizerConfig {
     /// the configured step, raised so the axis has at most
     /// `max_grid_points` points.
     pub fn effective_step(&self, avg: u64) -> u64 {
-        let min_step = avg.div_ceil(self.max_grid_points.max(1) as u64);
+        let min_step = avg.div_ceil(usize_to_u64(self.max_grid_points.max(1)));
         let steps_needed = min_step.div_ceil(self.step).max(1);
         self.step * steps_needed
     }
@@ -155,12 +156,12 @@ fn candidates(avg: u64, step: u64, m: usize, n: usize) -> Vec<(u64, u64)> {
     let mut out = Vec::new();
     if m == 0 {
         // No HServers: only the h = 0 column is meaningful.
-        for s in (step..=r_bar).step_by(step as usize) {
+        for s in (step..=r_bar).step_by(u64_to_usize(step)) {
             out.push((0, s));
         }
         return out;
     }
-    for h in (0..=r_bar).step_by(step as usize) {
+    for h in (0..=r_bar).step_by(u64_to_usize(step)) {
         let mut s = h + step;
         while s <= r_bar + step {
             // s > h per the paper's load-balance argument; the +step slack
@@ -176,7 +177,7 @@ fn candidates(avg: u64, step: u64, m: usize, n: usize) -> Vec<(u64, u64)> {
         out.push((r_bar, 0));
     }
     // Drop pairs that would have zero total capacity on this cluster.
-    out.retain(|&(h, s)| m as u64 * h + n as u64 * s > 0);
+    out.retain(|&(h, s)| usize_to_u64(m) * h + usize_to_u64(n) * s > 0);
     out
 }
 
@@ -212,7 +213,7 @@ pub fn optimize_region(
     recorder.counter_add(
         "harl.optimizer.candidates",
         &labels,
-        candidates(avg_request_size, step, model.m, model.n).len() as u64,
+        usize_to_u64(candidates(avg_request_size, step, model.m, model.n).len()),
     );
     recorder.gauge_set("harl.optimizer.stripe_h", &labels, choice.h as f64);
     recorder.gauge_set("harl.optimizer.stripe_s", &labels, choice.s as f64);
@@ -273,11 +274,17 @@ fn optimize_region_sampled(
                 });
             }
         });
-        results
-            .into_iter()
-            .flatten()
-            .reduce(pick_better)
-            .expect("at least one chunk")
+        // `cands` is non-empty (asserted above), so at least one slot is
+        // filled and the infinite-cost sentinel always loses to a real
+        // candidate under pick_better's ordering.
+        results.into_iter().flatten().fold(
+            StripeChoice {
+                h: 0,
+                s: 0,
+                cost: f64::INFINITY,
+            },
+            pick_better,
+        )
     };
     (best, sample.len())
 }
@@ -311,7 +318,7 @@ fn strided_runs(sample: &[(u64, u64, harl_devices::OpKind)]) -> Vec<StridedRun> 
                     run.count = 2;
                     continue;
                 }
-                if o == run.o0.wrapping_add(run.count as u64 * run.d) {
+                if o == run.o0.wrapping_add(usize_to_u64(run.count) * run.d) {
                     run.count += 1;
                     continue;
                 }
@@ -348,14 +355,14 @@ fn best_of(
     let runs = strided_runs(sample);
     let startup = model.startup_table();
     'cands: for &(h, s) in cands {
-        let group = model.m as u64 * h + model.n as u64 * s;
+        let group = usize_to_u64(model.m) * h + usize_to_u64(model.n) * s;
         let mut cost = 0.0;
         for run in &runs {
             let d = run.d % group;
             let period = if d == 0 {
                 1
             } else {
-                (group / gcd(d, group)) as usize
+                u64_to_usize(group / gcd(d, group))
             };
             let n = run.count;
             // Residue j of the cycle appears ⌈n/P⌉ times for j < n mod P
@@ -392,6 +399,10 @@ fn best_of(
 /// Preferring the larger stripe means fewer stripe fragments and less
 /// metadata — and matches the paper's reported optima (Fig. 9's
 /// `{0, 64K}` rather than `{0, 4K}`).
+// Exact comparison, allowlisted in lint.allow.toml: a tolerance here would
+// make the winner depend on evaluation order and break bit-determinism
+// across thread counts.
+#[allow(clippy::float_cmp)]
 fn pick_better(a: StripeChoice, b: StripeChoice) -> StripeChoice {
     if b.cost < a.cost || (b.cost == a.cost && (b.h, b.s) > (a.h, a.s)) {
         b
@@ -417,25 +428,32 @@ where
     if workers <= 1 {
         return (0..count).map(f).collect();
     }
-    let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
     let chunk = count.div_ceil(workers);
     std::thread::scope(|scope| {
-        for (ci, slots) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                for (j, slot) in slots.iter_mut().enumerate() {
-                    *slot = Some(f(ci * chunk + j));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|slot| slot.expect("fan_out worker filled every slot"))
-        .collect()
+        let handles: Vec<_> = (0..workers)
+            .map(|ci| {
+                let f = &f;
+                scope.spawn(move || {
+                    let lo = ci * chunk;
+                    let hi = count.min(lo + chunk);
+                    (lo..hi).map(f).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        // Joining in spawn order keeps results index-ordered; a worker
+        // panic is re-raised on the caller as thread::scope would.
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
 }
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values: outputs are deterministic by design.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use harl_devices::{hdd_2015_preset, ssd_2015_preset, NetworkProfile, OpKind};
     use harl_pfs::ClusterConfig;

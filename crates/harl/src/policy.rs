@@ -159,7 +159,13 @@ impl LayoutPolicy for SegmentPolicy {
                     Some(b) => b,
                 });
             }
-            let choice = best.expect("grid has at least one candidate");
+            // `step..=r_bar` holds at least `step` (r_bar >= step), so the
+            // grid always yields a candidate; the fallback is unreachable.
+            let choice = best.unwrap_or(StripeChoice {
+                h: step,
+                s: step,
+                cost: 0.0,
+            });
             entries.push(RstEntry {
                 offset,
                 len,

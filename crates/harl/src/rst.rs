@@ -50,6 +50,9 @@ impl RegionStripeTable {
     /// # Panics
     /// Panics if entries are empty, unsorted, overlapping, gapped, not
     /// starting at 0, or any entry has `h == 0 && s == 0` or zero length.
+    // Documented-precondition panic, allowlisted in lint.allow.toml:
+    // fallible callers (tables read from disk) use try_new/load_from_path.
+    #[allow(clippy::panic)]
     pub fn new(entries: Vec<RstEntry>) -> Self {
         Self::try_new(entries).unwrap_or_else(|reason| panic!("{reason}"))
     }

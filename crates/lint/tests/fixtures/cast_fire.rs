@@ -1,0 +1,10 @@
+// Fixture: must trigger `cast-hygiene` twice when scanned as a
+// cost-model file.
+
+pub fn shrink(x: u64) -> usize {
+    x as usize
+}
+
+pub fn sign_flip(x: i64) -> u64 {
+    x as u64
+}

@@ -1,0 +1,18 @@
+// Fixture: must NOT trigger `cast-hygiene`: `as f64` is exempt (exact
+// below 2^53) and try_from conversions are the sanctioned idiom.
+
+pub fn widen(x: u64) -> f64 {
+    x as f64
+}
+
+pub fn checked(x: usize) -> u64 {
+    u64::try_from(x).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_cast() {
+        assert_eq!(3usize as u64, 3);
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: must trigger `determinism` (wall clock + env lookup).
+
+pub fn timestamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn from_env() -> Option<String> {
+    std::env::var("HARL_SEED").ok()
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

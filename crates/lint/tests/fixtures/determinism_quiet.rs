@@ -1,0 +1,19 @@
+//! Fixture: must NOT trigger `determinism`. Instant::now() here is in a
+//! doc comment; below it appears in a string and in #[cfg(test)] code.
+
+pub fn now_label() -> &'static str {
+    "Instant::now and SystemTime are just words in a string"
+}
+
+/* block comment mentioning Instant and env::var too */
+pub fn double(x: u64) -> u64 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: must trigger `float-eq` twice when scanned as a cost-model
+// file: once on a known f64 field name, once on a float literal.
+
+pub struct Choice {
+    pub cost: f64,
+}
+
+pub fn tie(a: &Choice, b: &Choice) -> bool {
+    b.cost == a.cost
+}
+
+pub fn is_half(x: f64) -> bool {
+    x != 0.5
+}

@@ -1,0 +1,14 @@
+// Fixture: must NOT trigger `float-eq`: tolerance comparison, integer
+// equality, and ranges that look float-adjacent.
+
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+pub fn ints(a: u64, b: u64) -> bool {
+    a == b
+}
+
+pub fn in_range(x: u64) -> bool {
+    (0..10).contains(&x) && x == 3
+}

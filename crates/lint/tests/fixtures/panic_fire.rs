@@ -1,0 +1,13 @@
+// Fixture: must trigger `panic-hygiene` three times.
+
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn must(v: Option<u64>) -> u64 {
+    v.expect("present")
+}
+
+pub fn boom() -> ! {
+    panic!("library code must not panic")
+}

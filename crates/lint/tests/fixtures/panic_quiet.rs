@@ -1,0 +1,24 @@
+// Fixture: must NOT trigger `panic-hygiene`: asserts state invariants,
+// unwrap_or/map_or are total, and test code is exempt.
+
+pub fn first(v: &[u64]) -> u64 {
+    assert!(!v.is_empty(), "caller contract");
+    v.first().map_or(0, |&x| x)
+}
+
+pub fn saturating_double(n: u64) -> u64 {
+    n.checked_mul(2).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u64> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let r: Result<u64, ()> = Ok(2);
+        assert_eq!(r.expect("ok"), 2);
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: must trigger `recorded-twins`.
+
+pub fn run_scenario_recorded(seed: u64) -> u64 {
+    seed
+}

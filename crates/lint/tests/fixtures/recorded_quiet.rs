@@ -1,0 +1,8 @@
+// Fixture: must NOT trigger `recorded-twins`: "recorder" names are fine,
+// only the `*_recorded` twin suffix is banned.
+
+pub fn run_with_recorder(seed: u64) -> u64 {
+    seed
+}
+
+pub struct RecordedNot;

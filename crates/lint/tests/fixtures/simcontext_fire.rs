@@ -1,0 +1,14 @@
+// Fixture: must trigger `simcontext-first`: the context trails another
+// argument in both a free function and a method.
+
+pub fn run(label: &str, ctx: &SimContext) -> usize {
+    label.len() + ctx.threads()
+}
+
+pub struct Runner;
+
+impl Runner {
+    pub fn go(&self, n: u64, ctx: &SimContext) -> u64 {
+        n + ctx.seed()
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: must NOT trigger `simcontext-first`: context leads (after
+// self), or is absent.
+
+pub fn plan(ctx: &SimContext, label: &str) -> usize {
+    label.len() + ctx.threads()
+}
+
+pub struct Runner;
+
+impl Runner {
+    pub fn go<T: Clone>(&mut self, ctx: &SimContext, n: u64) -> u64 {
+        n + ctx.seed()
+    }
+
+    pub fn no_ctx(&self, a: u64, b: u64) -> u64 {
+        a + b
+    }
+}

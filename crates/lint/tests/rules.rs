@@ -1,0 +1,131 @@
+//! Fixture corpus: every rule must both fire on its trigger snippet and
+//! stay quiet on its counter-example. Fixtures live in `tests/fixtures/`
+//! and are never compiled — they are data for the token scanner — so they
+//! may freely contain the constructs the rules ban.
+
+use harl_lint::scan_source;
+use std::fs;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// Scan a fixture as if it lived at `path` (scoping is path-based) and
+/// return the rule names of all findings.
+fn rules_at(path: &str, name: &str) -> Vec<String> {
+    scan_source(path, &fixture(name))
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+fn count(rules: &[String], rule: &str) -> usize {
+    rules.iter().filter(|r| *r == rule).count()
+}
+
+// A path inside the determinism + panic scopes but not the cost-model
+// files, and one inside the cost-model scope.
+const LIB_PATH: &str = "crates/middleware/src/fixture.rs";
+const MODEL_PATH: &str = "crates/harl/src/model.rs";
+
+#[test]
+fn determinism_fires() {
+    let rules = rules_at(LIB_PATH, "determinism_fire.rs");
+    // Instant (type + now site), env::var, SystemTime (type + now site).
+    assert!(count(&rules, "determinism") >= 3, "{rules:?}");
+}
+
+#[test]
+fn determinism_stays_quiet() {
+    let rules = rules_at(LIB_PATH, "determinism_quiet.rs");
+    assert_eq!(count(&rules, "determinism"), 0, "{rules:?}");
+}
+
+#[test]
+fn determinism_is_scoped_to_simulated_time_code() {
+    // The same trigger snippet in the bench harness is out of scope.
+    let rules = rules_at("crates/bench/src/fixture.rs", "determinism_fire.rs");
+    assert_eq!(count(&rules, "determinism"), 0, "{rules:?}");
+}
+
+#[test]
+fn panic_hygiene_fires() {
+    let rules = rules_at(LIB_PATH, "panic_fire.rs");
+    assert_eq!(count(&rules, "panic-hygiene"), 3, "{rules:?}");
+}
+
+#[test]
+fn panic_hygiene_stays_quiet() {
+    let rules = rules_at(LIB_PATH, "panic_quiet.rs");
+    assert_eq!(count(&rules, "panic-hygiene"), 0, "{rules:?}");
+}
+
+#[test]
+fn cast_hygiene_fires() {
+    let rules = rules_at(MODEL_PATH, "cast_fire.rs");
+    assert_eq!(count(&rules, "cast-hygiene"), 2, "{rules:?}");
+}
+
+#[test]
+fn cast_hygiene_stays_quiet() {
+    let rules = rules_at(MODEL_PATH, "cast_quiet.rs");
+    assert_eq!(count(&rules, "cast-hygiene"), 0, "{rules:?}");
+}
+
+#[test]
+fn cast_hygiene_is_scoped_to_cost_model_files() {
+    let rules = rules_at(LIB_PATH, "cast_fire.rs");
+    assert_eq!(count(&rules, "cast-hygiene"), 0, "{rules:?}");
+}
+
+#[test]
+fn float_eq_fires() {
+    let rules = rules_at(MODEL_PATH, "float_eq_fire.rs");
+    assert_eq!(count(&rules, "float-eq"), 2, "{rules:?}");
+}
+
+#[test]
+fn float_eq_stays_quiet() {
+    let rules = rules_at(MODEL_PATH, "float_eq_quiet.rs");
+    assert_eq!(count(&rules, "float-eq"), 0, "{rules:?}");
+}
+
+#[test]
+fn simcontext_first_fires() {
+    let rules = rules_at(LIB_PATH, "simcontext_fire.rs");
+    assert_eq!(count(&rules, "simcontext-first"), 2, "{rules:?}");
+}
+
+#[test]
+fn simcontext_first_stays_quiet() {
+    let rules = rules_at(LIB_PATH, "simcontext_quiet.rs");
+    assert_eq!(count(&rules, "simcontext-first"), 0, "{rules:?}");
+}
+
+#[test]
+fn recorded_twins_fires() {
+    let rules = rules_at(LIB_PATH, "recorded_fire.rs");
+    assert_eq!(count(&rules, "recorded-twins"), 1, "{rules:?}");
+}
+
+#[test]
+fn recorded_twins_stays_quiet() {
+    let rules = rules_at(LIB_PATH, "recorded_quiet.rs");
+    assert_eq!(count(&rules, "recorded-twins"), 0, "{rules:?}");
+}
+
+#[test]
+fn findings_carry_location_and_snippet() {
+    let findings = scan_source(MODEL_PATH, &fixture("cast_fire.rs"));
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "cast-hygiene")
+        .expect("cast finding");
+    assert_eq!(f.path, MODEL_PATH);
+    assert!(f.line > 1);
+    assert!(f.snippet.contains("as usize"), "{}", f.snippet);
+}

@@ -96,11 +96,10 @@ pub fn plan_collective(
             .map(|r| (r.offset, r.offset + r.size))
             .collect(),
     );
-    if covered.is_empty() {
-        return None;
-    }
-    let lo = covered[0].0;
-    let hi = covered.last().expect("non-empty").1;
+    let (lo, hi) = match (covered.first(), covered.last()) {
+        (Some(first), Some(last)) => (first.0, last.1),
+        _ => return None,
+    };
 
     // Contiguous file domains, one per aggregator, sliced from the extent.
     let n_agg = aggregators.len() as u64;

@@ -13,8 +13,13 @@
 //!   translation (the modified `MPI_File_read/write`), and end-to-end
 //!   execution of a workload under any layout policy.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+// missing_docs / rust_2018_idioms come from [workspace.lints]. The
+// cfg_attr tier mirrors harl-lint's panic-hygiene rule at compile time
+// for library code; unit tests compile under cfg(test) and stay exempt.
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod collective;
 pub mod logical;

@@ -65,9 +65,11 @@ pub fn collect_trace_lowered(
 /// through unchanged, collectives go through the chosen [`Lowering`].
 fn collect_trace_with(workload: &Workload, lowering: Lowering<'_>) -> Trace {
     if matches!(lowering, Lowering::TwoPhase { .. }) {
-        workload
-            .validate_collectives()
-            .expect("collective call counts must match across ranks");
+        let collectives = workload.validate_collectives();
+        assert!(
+            collectives.is_ok(),
+            "collective call counts must match across ranks: {collectives:?}"
+        );
     }
     let mut trace = Trace::new();
     let mut clock = 0u64;
@@ -120,7 +122,7 @@ fn collect_trace_with(workload: &Workload, lowering: Lowering<'_>) -> Trace {
                                 _ => None,
                             })
                             .nth(k)
-                            .expect("validated collective count")
+                            .unwrap_or_default()
                     })
                     .collect();
                 if let Some(plan) = plan_collective(&contributions, &aggregators, ccfg) {
@@ -209,9 +211,11 @@ pub fn translate_workload(
     ccfg: &CollectiveConfig,
 ) -> Vec<ClientProgram> {
     let recorder = ctx.recorder();
-    workload
-        .validate_collectives()
-        .expect("collective call counts must match across ranks");
+    let collectives = workload.validate_collectives();
+    assert!(
+        collectives.is_ok(),
+        "collective call counts must match across ranks: {collectives:?}"
+    );
     let n_ranks = workload.rank_count();
     let aggregators = default_aggregators(cluster, n_ranks);
     let mut programs: Vec<ClientProgram> = vec![ClientProgram::new(); n_ranks];
@@ -231,7 +235,7 @@ pub fn translate_workload(
                         _ => None,
                     })
                     .nth(k)
-                    .expect("validated collective count")
+                    .unwrap_or_default()
             })
             .collect();
         collective_plans.push(plan_collective(&contributions, &aggregators, ccfg));

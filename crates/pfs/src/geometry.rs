@@ -61,7 +61,9 @@ impl GroupLayout {
     /// Stripe group size `S` (sum of widths).
     #[inline]
     pub fn group_size(&self) -> u64 {
-        *self.starts.last().expect("starts never empty")
+        // `starts` always begins with 0, so `last()` never misses; the 0
+        // arm only documents the total order for an impossible state.
+        self.starts.last().map_or(0, |&s| s)
     }
 
     /// Number of slots (including zero-width ones).

@@ -218,7 +218,9 @@ impl<E> Engine<E> {
                 Some(top) if top.at > deadline => return false,
                 Some(_) => {}
             }
-            let (at, event) = self.sched.pop().expect("peeked entry vanished");
+            let Some((at, event)) = self.sched.pop() else {
+                return true;
+            };
             self.sched.now = at;
             self.dispatched += 1;
             handler(&mut self.sched, at, event);

@@ -28,7 +28,7 @@
 
 use harl_repro::prelude::*;
 
-fn run(label: &str, ctx: &SimContext, cluster: &ClusterConfig, workload: &Workload) {
+fn run(ctx: &SimContext, label: &str, cluster: &ClusterConfig, workload: &Workload) {
     let model = CostModelParams::from_cluster_calibrated(cluster, &CalibrationConfig::default());
     let harl = HarlPolicy::new(model);
     let ccfg = CollectiveConfig::default();
@@ -66,8 +66,8 @@ fn main() {
         cluster.sserver_count(),
         cluster.hserver_count()
     );
-    run("healthy", &healthy, &cluster, &workload);
-    run("degraded (straggler)", &degraded, &cluster, &workload);
+    run(&healthy, "healthy", &cluster, &workload);
+    run(&degraded, "degraded (straggler)", &cluster, &workload);
 
     // The same experiment as a declarative scenario: the fault plan is
     // part of the spec, so `harl-cli run --scenario` reproduces it.
