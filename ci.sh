@@ -37,6 +37,21 @@ fi
 echo "scenario report matches golden"
 rm -rf "$out"
 
+echo "== metrics report golden =="
+out="$(mktemp -d)"
+cargo run --release -q -p harl-bench --bin harl-cli -- \
+    run --scenario scenarios/smoke.json --sample-ms 1 \
+    --metrics-out "$out/metrics.jsonl" --out "$out/smoke.json" >/dev/null
+cargo run --release -q -p harl-bench --bin harl-cli -- \
+    report "$out/metrics.jsonl" > "$out/report.txt"
+if ! diff -u scenarios/smoke.report.golden.txt "$out/report.txt"; then
+    echo "rendered metrics report diverged from scenarios/smoke.report.golden.txt" >&2
+    echo "(if the change is intentional, regenerate the golden with the commands above)" >&2
+    exit 1
+fi
+echo "metrics report matches golden"
+rm -rf "$out"
+
 echo "== bench-planning smoke test =="
 out="$(mktemp -d)"
 cargo run --release -q -p harl-bench --bin harl-cli -- \
@@ -48,6 +63,24 @@ phases = doc["phases"]
 for phase in ("single_region", "whole_file_64", "online_replan"):
     assert phases[phase]["wall_s"] > 0, phase
 print("bench-planning JSON schema OK")
+PY
+rm -rf "$out"
+
+echo "== bench-sim smoke test =="
+out="$(mktemp -d)"
+cargo run --release -q -p harl-bench --bin harl-cli -- \
+    bench-sim --quick --json --out "$out/BENCH_sim.json"
+python3 - "$out/BENCH_sim.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "harl.bench.sim.v1", doc["schema"]
+tiers = doc["tiers"]
+assert [t["servers"] for t in tiers] == [8, 256, 1024], tiers
+for t in tiers:
+    assert t["events"] > 0 and t["events_per_s"] > 0, t
+    assert t["requests_completed"] == t["requests"], t
+assert "max_recorder_overhead_pct" in doc
+print("bench-sim JSON schema OK")
 PY
 rm -rf "$out"
 

@@ -10,9 +10,12 @@
 //! harl-cli inspect     <rst.json>
 //! harl-cli simulate    <trace.jsonl> <rst.json> [--hservers M] [--sservers N]
 //!                      [--metrics-out metrics.jsonl] [--trace-out trace.json]
+//!                      [--sample-ms MS]
 //! harl-cli bench-planning [--json] [--quick] [--threads T] [--out path]
+//! harl-cli bench-sim   [--json] [--quick] [--out path]
+//! harl-cli report      <metrics.jsonl>
 //! harl-cli run --scenario scenario.json [--out report.json] [--seed S]
-//!              [--threads T]
+//!              [--threads T] [--metrics-out metrics.jsonl] [--sample-ms MS]
 //! harl-cli lint [--root DIR] [--json]
 //! ```
 //!
@@ -22,7 +25,11 @@
 //! service-time histograms, per-region routing counters, per-region
 //! predicted-vs-actual cost residuals, request spans) and writes it as
 //! JSONL; `--trace-out` writes the request spans as a Chrome trace-event
-//! file for `chrome://tracing` / Perfetto.
+//! file for `chrome://tracing` / Perfetto. `--sample-ms` additionally
+//! samples per-server queue depth, utilisation and in-flight bytes every
+//! MS simulated milliseconds (it needs `--metrics-out` or `--trace-out`
+//! to have somewhere to land). `report` renders a recorded metrics JSONL
+//! back into a per-server utilisation / queue summary.
 
 use harl_core::{
     divide_regions, size_histogram, summarize, summarize_records, CostModelParams, HarlPolicy,
@@ -33,7 +40,7 @@ use harl_middleware::{run_workload, CollectiveConfig};
 use harl_pfs::ClusterConfig;
 use harl_repro::scenario::Scenario;
 use harl_simcore::metrics::{MemoryRecorder, Recorder};
-use harl_simcore::{ByteSize, SimContext};
+use harl_simcore::{registry, ByteSize, SimContext, SimNanos};
 use harl_workloads::replay;
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
@@ -44,9 +51,13 @@ fn usage() -> ! {
         "usage:\n  harl-cli trace-info <trace.jsonl>\n  harl-cli plan <trace.jsonl> \
          --file-size BYTES [--hservers M] [--sservers N] [--out rst.json] [--region-size B]\n  \
          harl-cli inspect <rst.json>\n  harl-cli simulate <trace.jsonl> <rst.json> \
-         [--hservers M] [--sservers N] [--metrics-out metrics.jsonl] [--trace-out trace.json]\n  \
+         [--hservers M] [--sservers N] [--metrics-out metrics.jsonl] [--trace-out trace.json] \
+         [--sample-ms MS]\n  \
          harl-cli bench-planning [--json] [--quick] [--threads T] [--out path]\n  \
-         harl-cli run --scenario scenario.json [--out report.json] [--seed S] [--threads T]\n  \
+         harl-cli bench-sim [--json] [--quick] [--out path]\n  \
+         harl-cli report <metrics.jsonl>\n  \
+         harl-cli run --scenario scenario.json [--out report.json] [--seed S] [--threads T] \
+         [--metrics-out metrics.jsonl] [--sample-ms MS]\n  \
          harl-cli lint [--root DIR] [--json]"
     );
     std::process::exit(2);
@@ -79,6 +90,7 @@ struct Opts {
     scenario: Option<PathBuf>,
     seed: Option<u64>,
     root: Option<PathBuf>,
+    sample_ms: Option<f64>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -97,6 +109,7 @@ fn parse_opts(args: &[String]) -> Opts {
         scenario: None,
         seed: None,
         root: None,
+        sample_ms: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -144,6 +157,13 @@ fn parse_opts(args: &[String]) -> Opts {
                 }
             }
             "--root" => opts.root = Some(it.next().map(PathBuf::from).unwrap_or_else(|| usage())),
+            "--sample-ms" => {
+                opts.sample_ms = it.next().and_then(|v| v.parse().ok());
+                match opts.sample_ms {
+                    Some(ms) if ms > 0.0 && ms.is_finite() => {}
+                    _ => usage(),
+                }
+            }
             "--region-size" => {
                 opts.region_size = it.next().and_then(|v| parse_size(v));
                 if opts.region_size.is_none() {
@@ -288,9 +308,9 @@ fn record_residuals(recorder: &MemoryRecorder, model: &CostModelParams, rst: &Re
         let actual = span.latency_ns() as f64 / 1e9;
         let residual = actual - predicted;
         let labels = [("region", region.to_string())];
-        recorder.observe_f64("harl.model.residual_s", &labels, residual);
+        recorder.observe_f64(registry::HARL_MODEL_RESIDUAL_S.name, &labels, residual);
         recorder.observe(
-            "harl.model.residual_abs_ns",
+            registry::HARL_MODEL_RESIDUAL_ABS_NS.name,
             &labels,
             (residual.abs() * 1e9) as u64,
         );
@@ -307,11 +327,14 @@ fn cmd_simulate(opts: &Opts) {
     let workload = replay(&trace);
     let recording = opts.metrics_out.is_some() || opts.trace_out.is_some();
     let memory = Arc::new(MemoryRecorder::new());
-    let ctx = if recording {
+    let mut ctx = if recording {
         SimContext::recorded(memory.clone())
     } else {
         SimContext::new()
     };
+    if let Some(ms) = opts.sample_ms {
+        ctx = ctx.with_sample_interval(SimNanos::from_secs_f64(ms / 1e3));
+    }
     let report = run_workload(
         &ctx,
         &cluster,
@@ -420,6 +443,61 @@ fn cmd_bench_planning(opts: &Opts) {
     }
 }
 
+fn cmd_bench_sim(opts: &Opts) {
+    use harl_bench::simbench::{run_sim_bench, SimScale};
+    if !opts.positional.is_empty() {
+        usage();
+    }
+    let scale = if opts.quick {
+        SimScale::quick()
+    } else {
+        SimScale::full()
+    };
+    let doc = run_sim_bench(scale, opts.quick);
+    if let Some(tiers) = doc["tiers"].as_array() {
+        for tier in tiers {
+            println!(
+                "{:>5} servers  {:>9} events  {:>12.0} events/s  recorder overhead {:>+6.2}%",
+                tier["servers"].as_u64().unwrap_or(0),
+                tier["events"].as_u64().unwrap_or(0),
+                tier["events_per_s"].as_f64().unwrap_or(0.0),
+                tier["recorder_overhead_pct"].as_f64().unwrap_or(0.0),
+            );
+        }
+    }
+    println!(
+        "max recorder overhead: {:+.2}% (budget < 5%)",
+        doc["max_recorder_overhead_pct"].as_f64().unwrap_or(0.0)
+    );
+    if opts.json {
+        let path = opts
+            .out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("BENCH_sim.json"));
+        let text = serde_json::to_string_pretty(&doc).expect("serialise bench doc");
+        std::fs::write(&path, text + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("wrote {}", path.display());
+    }
+}
+
+fn cmd_report(opts: &Opts) {
+    let [path] = opts.positional.as_slice() else {
+        usage()
+    };
+    let jsonl = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let summary = harl_pfs::MetricsSummary::parse(&jsonl).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", summary.render());
+}
+
 fn cmd_run(opts: &Opts) {
     if !opts.positional.is_empty() {
         usage();
@@ -429,17 +507,39 @@ fn cmd_run(opts: &Opts) {
         eprintln!("cannot load scenario: {e}");
         std::process::exit(1);
     });
-    let mut ctx = SimContext::new();
+    let memory = Arc::new(MemoryRecorder::new());
+    let mut ctx = if opts.metrics_out.is_some() {
+        SimContext::recorded(memory.clone())
+    } else {
+        SimContext::new()
+    };
     if let Some(seed) = opts.seed {
         ctx = ctx.with_seed(seed);
     }
     if let Some(threads) = opts.threads {
         ctx = ctx.with_threads(threads);
     }
+    if let Some(ms) = opts.sample_ms {
+        ctx = ctx.with_sample_interval(SimNanos::from_secs_f64(ms / 1e3));
+    }
     let report = scenario.run(&ctx).unwrap_or_else(|e| {
         eprintln!("scenario failed: {e}");
         std::process::exit(1);
     });
+    if let Some(path) = &opts.metrics_out {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        memory
+            .write_jsonl(&mut BufWriter::new(file))
+            .expect("write metrics JSONL");
+        println!(
+            "wrote {} metric series to {}",
+            memory.series_count(),
+            path.display()
+        );
+    }
     let json = report.to_json_pretty();
     match &opts.out {
         Some(out) => {
@@ -491,6 +591,8 @@ fn main() {
         "inspect" => cmd_inspect(&opts),
         "simulate" => cmd_simulate(&opts),
         "bench-planning" => cmd_bench_planning(&opts),
+        "bench-sim" => cmd_bench_sim(&opts),
+        "report" => cmd_report(&opts),
         "run" => cmd_run(&opts),
         "lint" => cmd_lint(&opts),
         _ => usage(),

@@ -17,6 +17,7 @@ pub mod ablations;
 pub mod figures;
 pub mod harness;
 pub mod planning;
+pub mod simbench;
 pub mod support;
 
 pub use ablations::*;

@@ -18,7 +18,7 @@ use crate::model::CostModelParams;
 use crate::optimizer::{OptimizerConfig, RegionRequests};
 use crate::rst::RegionStripeTable;
 use crate::trace::TraceRecord;
-use harl_simcore::{OnlineStats, SimContext};
+use harl_simcore::{registry, OnlineStats, SimContext};
 use serde::{Deserialize, Serialize};
 
 /// Monitor tuning.
@@ -225,11 +225,13 @@ impl OnlineMonitor {
         }
         if self.ctx.recorder().is_enabled() {
             let labels = [("region", region.to_string())];
-            self.ctx
-                .recorder()
-                .observe_f64("harl.model.residual_s", &labels, residual);
+            self.ctx.recorder().observe_f64(
+                registry::HARL_MODEL_RESIDUAL_S.name,
+                &labels,
+                residual,
+            );
             self.ctx.recorder().observe(
-                "harl.model.residual_abs_ns",
+                registry::HARL_MODEL_RESIDUAL_ABS_NS.name,
                 &labels,
                 (residual.abs() * 1e9) as u64,
             );
@@ -364,7 +366,7 @@ impl OnlineMonitor {
             self.planned_avg[job.region] = job.observed_avg;
             if self.ctx.recorder().is_enabled() {
                 self.ctx.recorder().counter_add(
-                    "harl.online.adaptations",
+                    registry::HARL_ONLINE_ADAPTATIONS.name,
                     &[("region", job.region.to_string())],
                     1,
                 );
@@ -598,14 +600,14 @@ mod tests {
         assert_eq!(events[0].old, (32 * KB, 160 * KB));
         assert_eq!(events[0].new, (0, 64 * KB));
         let labels = [("region", "0".to_string())];
-        assert!(recorder.counter_value("harl.online.adaptations", &labels) >= 1);
+        assert!(recorder.counter_value(registry::HARL_ONLINE_ADAPTATIONS.name, &labels) >= 1);
         let summary = recorder
             .summary_snapshot("harl.model.residual_s", &labels)
             .expect("residual summary recorded");
         assert!(summary.count() >= 32);
         assert!(summary.mean() > 0.0, "served slower than predicted");
         let hist = recorder
-            .histogram_snapshot("harl.model.residual_abs_ns", &labels)
+            .histogram_snapshot(registry::HARL_MODEL_RESIDUAL_ABS_NS.name, &labels)
             .expect("residual histogram recorded");
         assert_eq!(hist.count(), summary.count());
     }

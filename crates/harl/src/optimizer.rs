@@ -45,7 +45,7 @@
 use crate::cast::{u64_to_usize, usize_to_u64};
 use crate::model::CostModelParams;
 use crate::trace::TraceRecord;
-use harl_simcore::SimContext;
+use harl_simcore::{registry, SimContext};
 use serde::{Deserialize, Serialize};
 
 /// Optimizer tuning.
@@ -211,17 +211,33 @@ pub fn optimize_region(
     let labels = [("region", region.to_string())];
     let step = cfg.effective_step(avg_request_size.max(1));
     recorder.counter_add(
-        "harl.optimizer.candidates",
+        registry::HARL_OPTIMIZER_CANDIDATES.name,
         &labels,
         usize_to_u64(candidates(avg_request_size, step, model.m, model.n).len()),
     );
-    recorder.gauge_set("harl.optimizer.stripe_h", &labels, choice.h as f64);
-    recorder.gauge_set("harl.optimizer.stripe_s", &labels, choice.s as f64);
-    recorder.observe_f64("harl.optimizer.predicted_cost_s", &labels, choice.cost);
-    recorder.observe_f64("harl.optimizer.plan_wall_s", &labels, wall.as_secs_f64());
+    recorder.gauge_set(
+        registry::HARL_OPTIMIZER_STRIPE_H.name,
+        &labels,
+        choice.h as f64,
+    );
+    recorder.gauge_set(
+        registry::HARL_OPTIMIZER_STRIPE_S.name,
+        &labels,
+        choice.s as f64,
+    );
+    recorder.observe_f64(
+        registry::HARL_OPTIMIZER_PREDICTED_COST_S.name,
+        &labels,
+        choice.cost,
+    );
+    recorder.observe_f64(
+        registry::HARL_OPTIMIZER_PLAN_WALL_S.name,
+        &labels,
+        wall.as_secs_f64(),
+    );
     if sampled > 0 {
         recorder.observe_f64(
-            "harl.model.predicted_request_cost_s",
+            registry::HARL_MODEL_PREDICTED_REQUEST_COST_S.name,
             &labels,
             choice.cost / sampled as f64,
         );
@@ -704,7 +720,7 @@ mod tests {
         assert_eq!(wall.count(), 1);
         assert!(wall.mean() > 0.0);
         let per_request = recorder
-            .summary_snapshot("harl.model.predicted_request_cost_s", &labels)
+            .summary_snapshot(registry::HARL_MODEL_PREDICTED_REQUEST_COST_S.name, &labels)
             .expect("per-request predicted cost recorded");
         assert!((per_request.mean() - plain.cost / 64.0).abs() < 1e-12);
     }

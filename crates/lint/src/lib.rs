@@ -15,6 +15,7 @@
 //! | `float-eq` | cost-model files | no `==`/`!=` on floats |
 //! | `simcontext-first` | everywhere | `&SimContext` is the first non-self arg |
 //! | `recorded-twins` | everywhere | no `*_recorded` API resurrection |
+//! | `metric-registry` | everywhere but `registry.rs` | no quoted metric names at Recorder calls |
 //!
 //! Legitimate exceptions live in `lint.allow.toml` (rule + path + line
 //! pattern + reason); unused entries are reported as `stale-allow` so the
@@ -72,8 +73,7 @@ impl Report {
 /// everything that runs under simulated time. `crates/bench` is the
 /// wall-clock harness by design and is deliberately out of scope.
 const DETERMINISM_SCOPES: &[&str] = &[
-    "crates/simcore/src/engine.rs",
-    "crates/simcore/src/timeline.rs",
+    "crates/simcore/src/",
     "crates/pfs/src/",
     "crates/middleware/src/",
     "crates/harl/src/",
@@ -121,6 +121,9 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
     }
     rules::simcontext_first(path, &toks, &mask, &lines, &mut out);
     rules::recorded_twins(path, &toks, &mask, &lines, &mut out);
+    if !path.ends_with("registry.rs") {
+        rules::metric_registry(path, &toks, &mask, &lines, &mut out);
+    }
     out
 }
 
@@ -167,6 +170,7 @@ pub fn run(root: &Path, allow_path: &Path) -> Result<Report, String> {
         rules::RULE_FLOAT_EQ,
         rules::RULE_SIMCONTEXT,
         rules::RULE_RECORDED,
+        rules::RULE_METRIC,
     ];
     for e in &allow_entries {
         if !known_rules.contains(&e.rule.as_str()) {
@@ -249,10 +253,12 @@ pub fn run(root: &Path, allow_path: &Path) -> Result<Report, String> {
 pub fn render_human(report: &Report) -> String {
     let mut out = String::new();
     for f in report.findings.iter().filter(|f| !f.allowed) {
+        let (id, doc) = rules::rule_doc(&f.rule);
         let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
         if !f.snippet.is_empty() {
             let _ = writeln!(out, "    | {}", f.snippet);
         }
+        let _ = writeln!(out, "    = {id}: {doc}");
     }
     let violations = report.violations().count();
     let allowed = report.findings.len() - violations;
@@ -272,11 +278,14 @@ pub fn render_json(report: &Report) -> String {
         if i > 0 {
             out.push(',');
         }
+        let (id, doc) = rules::rule_doc(&f.rule);
         let _ = write!(
             out,
-            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \
-             \"snippet\": {}, \"allowed\": {}}}",
+            "\n    {{\"rule\": {}, \"id\": {}, \"doc\": {}, \"path\": {}, \"line\": {}, \
+             \"message\": {}, \"snippet\": {}, \"allowed\": {}}}",
             json_str(&f.rule),
+            json_str(id),
+            json_str(doc),
             json_str(&f.path),
             f.line,
             json_str(&f.message),
@@ -325,6 +334,12 @@ mod tests {
             "crates/middleware/src/runtime.rs",
             DETERMINISM_SCOPES
         ));
+        // The whole of simcore runs under simulated time; the profiler's
+        // wall-clock timers survive via an allowlist entry, not a scope hole.
+        assert!(in_scope(
+            "crates/simcore/src/profiler.rs",
+            DETERMINISM_SCOPES
+        ));
         assert!(!in_scope(
             "crates/bench/src/planning.rs",
             DETERMINISM_SCOPES
@@ -354,5 +369,31 @@ mod tests {
         let json = render_json(&report);
         assert!(json.contains("\"violations\": 1"), "{json}");
         assert!(json.contains("\"rule\": \"determinism\""), "{json}");
+        assert!(json.contains("\"id\": \"HL001\""), "{json}");
+        assert!(
+            json.contains("\"doc\": \"DESIGN.md#rules-and-scopes\""),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn every_rule_has_a_doc_id() {
+        let mut seen = std::collections::BTreeSet::new();
+        for rule in [
+            rules::RULE_DETERMINISM,
+            rules::RULE_PANIC,
+            rules::RULE_CAST,
+            rules::RULE_FLOAT_EQ,
+            rules::RULE_SIMCONTEXT,
+            rules::RULE_RECORDED,
+            rules::RULE_METRIC,
+            rules::RULE_STALE_ALLOW,
+        ] {
+            let (id, doc) = rules::rule_doc(rule);
+            assert!(id.starts_with("HL"), "{rule}: id {id}");
+            assert_ne!(id, "HL999", "{rule} is missing a dedicated id");
+            assert!(doc.starts_with("DESIGN.md#"), "{rule}: doc {doc}");
+            assert!(seen.insert(id), "duplicate doc id {id}");
+        }
     }
 }

@@ -21,8 +21,30 @@ pub const RULE_FLOAT_EQ: &str = "float-eq";
 pub const RULE_SIMCONTEXT: &str = "simcontext-first";
 /// See [`recorded_twins`].
 pub const RULE_RECORDED: &str = "recorded-twins";
+/// See [`metric_registry`].
+pub const RULE_METRIC: &str = "metric-registry";
 /// Emitted by the allowlist pass for entries that match nothing.
 pub const RULE_STALE_ALLOW: &str = "stale-allow";
+
+/// Stable rule id and documentation anchor for a rule name, surfaced as
+/// the `id`/`doc` fields of `--json` findings so CI annotations can link
+/// straight to the rationale.
+pub fn rule_doc(rule: &str) -> (&'static str, &'static str) {
+    match rule {
+        RULE_DETERMINISM => ("HL001", "DESIGN.md#rules-and-scopes"),
+        RULE_PANIC => ("HL002", "DESIGN.md#rules-and-scopes"),
+        RULE_CAST => ("HL003", "DESIGN.md#rules-and-scopes"),
+        RULE_FLOAT_EQ => ("HL004", "DESIGN.md#rules-and-scopes"),
+        RULE_SIMCONTEXT => ("HL005", "DESIGN.md#rules-and-scopes"),
+        RULE_RECORDED => ("HL006", "DESIGN.md#rules-and-scopes"),
+        RULE_METRIC => ("HL007", "DESIGN.md#rules-and-scopes"),
+        RULE_STALE_ALLOW => ("HL000", "DESIGN.md#the-allowlist-ratchet"),
+        _ => (
+            "HL999",
+            "DESIGN.md#appendix-d-harl-lint-project-specific-static-analysis",
+        ),
+    }
+}
 
 /// Integer types whose `as` casts the cost-model rule flags.
 const INT_TYPES: &[&str] = &[
@@ -372,6 +394,70 @@ fn matching_paren(toks: &[Tok], open: usize) -> usize {
         }
     }
     toks.len().saturating_sub(1)
+}
+
+/// `Recorder`/`MemoryRecorder` methods whose first argument is a metric
+/// name (write side and read side alike).
+const RECORDER_METHODS: &[&str] = &[
+    "counter_add",
+    "gauge_set",
+    "gauge_max",
+    "observe",
+    "observe_f64",
+    "merge_histogram",
+    "series_point",
+    "counter_value",
+    "gauge_value",
+    "histogram_snapshot",
+    "summary_snapshot",
+    "series_points",
+];
+
+/// Metric-name namespaces owned by `simcore::registry`.
+const METRIC_PREFIXES: &[&str] = &["sim.", "pfs.", "mw.", "harl."];
+
+/// **metric-registry** — metric names handed to `Recorder` methods come
+/// from the typed constants in `simcore::registry`, never from quoted
+/// literals. Fires on a `"sim.*"` / `"pfs.*"` / `"mw.*"` / `"harl.*"`
+/// string literal appearing as the first argument of a Recorder-method
+/// call. Literals elsewhere — schema tags like `"harl.bench.sim.v1"`
+/// passed to `json!`, doc strings, match arms — are untouched; only the
+/// Recorder call boundary is policed. The caller keeps `registry.rs`
+/// itself out of scope: that is where the literals are supposed to live.
+pub fn metric_registry(
+    path: &str,
+    toks: &[Tok],
+    mask: &[bool],
+    lines: &[&str],
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || t.kind != TokKind::Ident || !RECORDER_METHODS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if toks.get(i + 1).is_none_or(|n| n.text != "(") {
+            continue;
+        }
+        let Some(arg) = toks.get(i + 2) else { continue };
+        if arg.kind != TokKind::Str {
+            continue;
+        }
+        let name = arg.text.trim_matches('"');
+        if METRIC_PREFIXES.iter().any(|p| name.starts_with(p)) {
+            push(
+                out,
+                RULE_METRIC,
+                path,
+                arg.line,
+                format!(
+                    "metric name {} is a quoted literal at a `{}` call; use the typed constant \
+                     from simcore::registry (`registry::<METRIC>.name`)",
+                    arg.text, t.text
+                ),
+                lines,
+            );
+        }
+    }
 }
 
 /// **recorded-twins** — no identifier ending in `_recorded`. PR 3 folded

@@ -1,0 +1,13 @@
+// Fixture: must trigger `metric-registry` (quoted metric names at
+// Recorder call sites — write side, read side, and series points).
+
+pub fn record(recorder: &dyn Recorder) {
+    recorder.counter_add("sim.events.dispatched", &[], 1);
+    recorder.gauge_set("pfs.server.util", &[("server", "0".into())], 0.5);
+    recorder.observe("mw.request.latency_ns", &[], 42);
+    recorder.series_point("pfs.server.queue_depth", &[], 0, 3.0);
+}
+
+pub fn inspect(memory: &MemoryRecorder) -> u64 {
+    memory.counter_value("harl.plan.requests_folded", &[])
+}

@@ -1,0 +1,21 @@
+// Fixture: must NOT trigger `metric-registry`. Registry constants at
+// Recorder calls, schema tags outside Recorder calls, and non-namespaced
+// literals are all fine.
+
+pub fn record(recorder: &dyn Recorder) {
+    recorder.counter_add(registry::SIM_EVENTS_DISPATCHED.name, &[], 1);
+    recorder.gauge_set(registry::PFS_SERVER_UTIL.name, &[], 0.5);
+    recorder.observe(name, &[], 42);
+}
+
+pub fn document() -> serde_json::Value {
+    // A schema tag is a JSON document marker, not a metric name: it never
+    // reaches a Recorder method.
+    serde_json::json!({ "schema": "harl.bench.sim.v1" })
+}
+
+pub fn unrelated(recorder: &dyn Recorder) {
+    // Literals outside the registry namespaces stay quiet even at a
+    // Recorder call (fixture-local scratch metrics in tests use these).
+    recorder.observe("x", &[], 1);
+}

@@ -119,6 +119,26 @@ fn recorded_twins_stays_quiet() {
 }
 
 #[test]
+fn metric_registry_fires() {
+    let rules = rules_at(LIB_PATH, "metric_fire.rs");
+    // sim./pfs./mw. writes, a series point, and a read-side counter_value.
+    assert_eq!(count(&rules, "metric-registry"), 5, "{rules:?}");
+}
+
+#[test]
+fn metric_registry_stays_quiet() {
+    let rules = rules_at(LIB_PATH, "metric_quiet.rs");
+    assert_eq!(count(&rules, "metric-registry"), 0, "{rules:?}");
+}
+
+#[test]
+fn metric_registry_skips_the_registry_itself() {
+    // registry.rs is where the literals are supposed to live.
+    let rules = rules_at("crates/simcore/src/registry.rs", "metric_fire.rs");
+    assert_eq!(count(&rules, "metric-registry"), 0, "{rules:?}");
+}
+
+#[test]
 fn findings_carry_location_and_snippet() {
     let findings = scan_source(MODEL_PATH, &fixture("cast_fire.rs"));
     let f = findings

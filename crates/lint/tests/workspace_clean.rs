@@ -21,14 +21,14 @@ fn workspace_is_lint_clean() {
         "workspace has lint violations:\n{}",
         violations.join("\n")
     );
-    // The four documented exceptions (DESIGN.md Appendix D) and nothing
+    // The five documented exceptions (DESIGN.md Appendix D) and nothing
     // else; growing this list is a reviewed decision, not a drive-by.
     assert_eq!(
-        report.allow_entries, 4,
-        "allowlist should hold exactly the four documented exceptions"
+        report.allow_entries, 5,
+        "allowlist should hold exactly the five documented exceptions"
     );
     assert!(
-        report.findings.iter().filter(|f| f.allowed).count() >= 4,
+        report.findings.iter().filter(|f| f.allowed).count() >= 5,
         "every allow entry should match at least one finding"
     );
     assert!(

@@ -22,7 +22,7 @@ use crate::placement::{place, PlacedFile};
 use harl_core::{LayoutPolicy, RegionStripeTable, Trace, TraceRecord};
 use harl_pfs::{simulate, ClientProgram, ClusterConfig, PhysRequest, SimReport};
 use harl_simcore::metrics::Recorder;
-use harl_simcore::{SimContext, SimNanos};
+use harl_simcore::{registry, SimContext, SimNanos};
 
 /// How collective calls appear in a collected trace.
 enum Lowering<'a> {
@@ -155,8 +155,12 @@ fn translate_request(
         let entry = &placed.rst.entries()[region];
         if rec_on {
             let labels = [("region", region.to_string()), ("op", req.op.to_string())];
-            recorder.counter_add("mw.region.requests", &labels, 1);
-            recorder.observe("mw.request.fanout", &[("op", req.op.to_string())], 1);
+            recorder.counter_add(registry::MW_REGION_REQUESTS.name, &labels, 1);
+            recorder.observe(
+                registry::MW_REQUEST_FANOUT.name,
+                &[("op", req.op.to_string())],
+                1,
+            );
         }
         return vec![PhysRequest {
             file: placed.r2f.file_of(region),
@@ -168,14 +172,14 @@ fn translate_request(
     let pieces = placed.rst.split_request(req.offset, req.size);
     if rec_on {
         recorder.observe(
-            "mw.request.fanout",
+            registry::MW_REQUEST_FANOUT.name,
             &[("op", req.op.to_string())],
             pieces.len() as u64,
         );
         for (region, _, len) in &pieces {
             let labels = [("region", region.to_string()), ("op", req.op.to_string())];
-            recorder.counter_add("mw.region.requests", &labels, 1);
-            recorder.counter_add("mw.region.bytes", &labels, *len);
+            recorder.counter_add(registry::MW_REGION_REQUESTS.name, &labels, 1);
+            recorder.counter_add(registry::MW_REGION_BYTES.name, &labels, *len);
         }
     }
     pieces
@@ -308,9 +312,9 @@ pub fn run_workload(
     if recorder.is_enabled() {
         for (region, entry) in rst.entries().iter().enumerate() {
             let labels = [("region", region.to_string())];
-            recorder.gauge_set("mw.region.stripe_h", &labels, entry.h as f64);
-            recorder.gauge_set("mw.region.stripe_s", &labels, entry.s as f64);
-            recorder.gauge_set("mw.region.len", &labels, entry.len as f64);
+            recorder.gauge_set(registry::MW_REGION_STRIPE_H.name, &labels, entry.h as f64);
+            recorder.gauge_set(registry::MW_REGION_STRIPE_S.name, &labels, entry.s as f64);
+            recorder.gauge_set(registry::MW_REGION_LEN.name, &labels, entry.len as f64);
         }
     }
     let placed = place(cluster, rst, 0);
@@ -334,7 +338,7 @@ pub fn trace_plan_run(
     let trace = collect_trace_lowered(cluster, workload, ccfg);
     let recorder = ctx.recorder();
     if recorder.is_enabled() {
-        recorder.counter_add("mw.trace.records", &[], trace.len() as u64);
+        recorder.counter_add(registry::MW_TRACE_RECORDS.name, &[], trace.len() as u64);
     }
     let file_size = workload.extent().max(1);
     let rst = policy.plan(ctx, &trace, file_size);

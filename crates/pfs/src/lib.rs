@@ -49,6 +49,6 @@ pub use cluster::{ClusterConfig, ServerClass, ServerId};
 pub use faults::{slowdown_at, Degradation};
 pub use geometry::GroupLayout;
 pub use layout::FileLayout;
-pub use report::{BusyBuckets, ServerReport, SimReport};
+pub use report::{BusyBuckets, MetricsRow, MetricsSummary, ServerReport, SimReport};
 pub use request::{ClientProgram, FileId, PhysRequest, Step};
 pub use sim::simulate;

@@ -26,7 +26,9 @@ use crate::report::{ServerReport, SimReport};
 use crate::request::{ClientProgram, FileId, Step};
 use harl_devices::OpKind;
 use harl_simcore::metrics::{SpanHop, SpanRecord};
-use harl_simcore::{Engine, OnlineStats, SimContext, SimNanos, SimRng, Timeline};
+use harl_simcore::{
+    registry, Engine, Histogram, OnlineStats, Phase, SimContext, SimNanos, SimRng, Timeline,
+};
 
 /// Events of the PFS simulation.
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +50,25 @@ enum Ev {
     SubDone { req: usize },
     /// Compute phase finished.
     ComputeDone { client: usize },
+    /// Flight-recorder sampling tick (only scheduled when
+    /// `ctx.sample_interval` is set and the recorder is enabled).
+    Sample,
+}
+
+/// Which profiler bucket an event's handler bills to. Sub-requests moving
+/// through device queues are `DeviceService`; client control flow and
+/// completion accounting are `QueueDrain`; sampling ticks are pure
+/// recorder work.
+fn phase_of(ev: &Ev) -> Phase {
+    match ev {
+        Ev::MdsDone { .. }
+        | Ev::ArriveServerNic { .. }
+        | Ev::ArriveDisk { .. }
+        | Ev::DiskDone { .. }
+        | Ev::ReturnAtClient { .. } => Phase::DeviceService,
+        Ev::StartStep { .. } | Ev::ComputeDone { .. } | Ev::SubDone { .. } => Phase::QueueDrain,
+        Ev::Sample => Phase::Recorder,
+    }
 }
 
 struct ServerState {
@@ -56,6 +77,12 @@ struct ServerState {
     rng: SimRng,
     bytes: u64,
     busy_series: crate::report::BusyBuckets,
+    /// Local queue-wait/service histograms, merged into the recorder once
+    /// at the end of the run. Recording into a local [`Histogram`] is
+    /// alloc- and lock-free, which keeps the recorded hot path within a
+    /// few percent of the silent one.
+    queue_wait: Histogram,
+    service: Histogram,
 }
 
 /// Width of the per-server utilisation buckets in reports.
@@ -102,6 +129,20 @@ struct ClientState {
 ///   per-server device RNG streams.
 /// * **Faults** — `ctx.faults` windows apply *in addition to*
 ///   `cluster.degradations` (overlapping windows multiply).
+/// * **Sampling** — with `ctx.sample_interval` set (and a recorder
+///   enabled), a sampling tick fires every interval of simulated time and
+///   records three time-series per server: `pfs.server.queue_depth`
+///   (sub-requests in flight at the device), `pfs.server.util`
+///   (device busy fraction over the last window, exact — derived from the
+///   analytic [`Timeline`]), and `pfs.server.inflight_bytes`. Samples read
+///   state but never change it, so makespans and reports are identical
+///   with sampling on or off, and the sampled values are a pure function
+///   of the scenario and seed — same seed + interval ⇒ byte-identical
+///   series at any thread count.
+/// * **Profiling** — with `ctx.profiler()` attached, the run is driven by
+///   [`Engine::run_profiled`] and each handler bills its wall time to a
+///   [`Phase`] bucket (recorder work is carved out into its own bucket by
+///   nested scopes).
 pub fn simulate(
     ctx: &SimContext,
     cluster: &ClusterConfig,
@@ -110,6 +151,12 @@ pub fn simulate(
 ) -> SimReport {
     let recorder = ctx.recorder();
     let rec_on = recorder.is_enabled();
+    // Span assembly (label formatting) and per-hop queueing detail are
+    // the expensive parts of the instrumented path; recorders opt out of
+    // them independently (see `TraceDetail`).
+    let rec_spans = rec_on && recorder.wants_spans();
+    let rec_hops = rec_on && recorder.wants_hops();
+    let prof = ctx.profiler();
     let seed = ctx.seed_or(cluster.seed);
     let degradations: Vec<crate::faults::Degradation> = cluster
         .degradations
@@ -125,6 +172,8 @@ pub fn simulate(
             rng: SimRng::derived(seed, &format!("server-{id}")),
             bytes: 0,
             busy_series: crate::report::BusyBuckets::new(BUSY_BUCKET_WIDTH, BUSY_BUCKETS),
+            queue_wait: Histogram::new(),
+            service: Histogram::new(),
         })
         .collect();
     let mut client_nics: Vec<Timeline> = (0..cluster.compute_nodes)
@@ -159,276 +208,386 @@ pub fn simulate(
     let net = cluster.network;
     let latency = SimNanos::from_secs_f64(net.latency_s);
 
+    // Flight-recorder sampling state: in-flight work is tracked by the
+    // event handlers (exactly, not estimated), and per-window utilisation
+    // falls out of the Timeline analytically — at sample time `t` every
+    // arrival so far is `<= t`, so any booked busy time beyond `t` is the
+    // contiguous run ending at `next_free`, and busy-up-to-t is
+    // `busy_time - (next_free - t)`.
+    let sample_dt = ctx.sample_interval.filter(|_| rec_on);
+    let sampling = sample_dt.is_some();
+    // Request counters batched out of the hot loop: indexed by op
+    // (read = 0, write = 1), flushed once after the run.
+    let mut issued_by_op = [0u64; 2];
+    let mut completed_by_op = [0u64; 2];
+    let op_index = |op: OpKind| usize::from(op == OpKind::Write);
+    let mut inflight_subs: Vec<u64> = vec![0; n_servers];
+    let mut inflight_bytes: Vec<u64> = vec![0; n_servers];
+    let mut prev_busy: Vec<SimNanos> = vec![SimNanos::ZERO; n_servers];
+    let mut last_sample = SimNanos::ZERO;
+
     let mut engine: Engine<Ev> = Engine::new();
     for c in 0..programs.len() {
         engine.schedule(SimNanos::ZERO, Ev::StartStep { client: c });
     }
+    if let Some(dt) = sample_dt {
+        engine.schedule(dt, Ev::Sample);
+    }
 
-    engine.run(|sched, now, ev| match ev {
-        Ev::StartStep { client } => {
-            let state = &mut clients[client];
-            match programs[client].steps.get(state.next_step) {
-                None => {
-                    state.finished_at = now;
-                }
-                Some(Step::Compute(d)) => {
-                    state.next_step += 1;
-                    sched.schedule(now + *d, Ev::ComputeDone { client });
-                }
-                Some(Step::Barrier) => {
-                    state.next_step += 1;
-                    let gen = client_barrier_gen[client];
-                    client_barrier_gen[client] += 1;
-                    if barrier_waiting.len() <= gen {
-                        barrier_waiting.resize_with(gen + 1, Vec::new);
+    let handler = |sched: &mut harl_simcore::Scheduler<Ev>, now: SimNanos, ev: Ev| {
+        let _phase = prof.map(|p| p.scope(phase_of(&ev)));
+        match ev {
+            Ev::StartStep { client } => {
+                let state = &mut clients[client];
+                match programs[client].steps.get(state.next_step) {
+                    None => {
+                        state.finished_at = now;
                     }
-                    barrier_waiting[gen].push(client);
-                    if barrier_waiting[gen].len() == total_clients {
-                        // Last arrival releases everyone.
-                        for c in barrier_waiting[gen].drain(..) {
-                            sched.schedule(now, Ev::StartStep { client: c });
+                    Some(Step::Compute(d)) => {
+                        state.next_step += 1;
+                        sched.schedule(now + *d, Ev::ComputeDone { client });
+                    }
+                    Some(Step::Barrier) => {
+                        state.next_step += 1;
+                        let gen = client_barrier_gen[client];
+                        client_barrier_gen[client] += 1;
+                        if barrier_waiting.len() <= gen {
+                            barrier_waiting.resize_with(gen + 1, Vec::new);
+                        }
+                        barrier_waiting[gen].push(client);
+                        if barrier_waiting[gen].len() == total_clients {
+                            // Last arrival releases everyone.
+                            for c in barrier_waiting[gen].drain(..) {
+                                sched.schedule(now, Ev::StartStep { client: c });
+                            }
                         }
                     }
-                }
-                Some(Step::Io(batch)) => {
-                    state.next_step += 1;
-                    state.batch_pending = batch.len();
-                    for pr in batch {
-                        assert!(
-                            pr.file < files.len(),
-                            "request targets unknown file {}",
-                            pr.file
-                        );
-                        let req = reqs.len();
-                        reqs.push(ReqState {
-                            client,
-                            op: pr.op,
-                            size: pr.size,
-                            file: pr.file,
-                            offset: pr.offset,
-                            subs: Vec::new(),
-                            pending: 0,
-                            issued: now,
-                            hops: Vec::new(),
-                        });
-                        let grant = mds.acquire(now, cluster.mds_service);
-                        if rec_on {
-                            recorder.counter_add(
-                                "pfs.requests.issued",
-                                &[("op", pr.op.to_string())],
-                                1,
+                    Some(Step::Io(batch)) => {
+                        state.next_step += 1;
+                        state.batch_pending = batch.len();
+                        for pr in batch {
+                            assert!(
+                                pr.file < files.len(),
+                                "request targets unknown file {}",
+                                pr.file
                             );
-                            reqs[req].hops.push(SpanHop {
-                                stage: "mds",
-                                server: None,
-                                arrive: now.as_nanos(),
-                                start: grant.start.as_nanos(),
-                                end: grant.end.as_nanos(),
+                            let req = reqs.len();
+                            reqs.push(ReqState {
+                                client,
+                                op: pr.op,
+                                size: pr.size,
+                                file: pr.file,
+                                offset: pr.offset,
+                                subs: Vec::new(),
+                                pending: 0,
+                                issued: now,
+                                hops: Vec::new(),
                             });
+                            let grant = mds.acquire(now, cluster.mds_service);
+                            if rec_on {
+                                let _rec = prof.map(|p| p.scope(Phase::Recorder));
+                                issued_by_op[op_index(pr.op)] += 1;
+                                if rec_hops {
+                                    reqs[req].hops.push(SpanHop {
+                                        stage: "mds",
+                                        server: None,
+                                        arrive: now.as_nanos(),
+                                        start: grant.start.as_nanos(),
+                                        end: grant.end.as_nanos(),
+                                    });
+                                }
+                            }
+                            sched.schedule(grant.end, Ev::MdsDone { req });
                         }
-                        sched.schedule(grant.end, Ev::MdsDone { req });
                     }
                 }
             }
-        }
-        Ev::ComputeDone { client } => {
-            sched.schedule(now, Ev::StartStep { client });
-        }
-        Ev::MdsDone { req } => {
-            let (file, offset, size, op, client) = {
-                let r = &reqs[req];
-                (r.file, r.offset, r.size, r.op, r.client)
-            };
-            let subs = if size == 0 {
-                Vec::new()
-            } else {
-                files[file].split(offset, size)
-            };
-            if subs.is_empty() {
-                // Zero-byte request: completes at the MDS.
-                reqs[req].pending = 0;
-                sched.schedule(now, Ev::SubDone { req });
-                return;
+            Ev::ComputeDone { client } => {
+                sched.schedule(now, Ev::StartStep { client });
             }
-            reqs[req].pending = subs.len();
-            reqs[req].subs = subs;
-            let node = cluster.node_of(client);
-            let n_subs = reqs[req].subs.len();
-            for sub in 0..n_subs {
-                let (_, z) = reqs[req].subs[sub];
-                match op {
-                    OpKind::Write => {
-                        // Payload leaves through the client NIC, serialised
-                        // with the client's other outbound sub-requests.
-                        let service =
-                            SimNanos::from_secs_f64(z as f64 * net.t_s_per_byte) + latency;
-                        let grant = client_nics[node].acquire(now, service);
-                        if rec_on {
-                            reqs[req].hops.push(SpanHop {
-                                stage: "client_nic",
-                                server: None,
-                                arrive: now.as_nanos(),
-                                start: grant.start.as_nanos(),
-                                end: grant.end.as_nanos(),
-                            });
+            Ev::MdsDone { req } => {
+                let (file, offset, size, op, client) = {
+                    let r = &reqs[req];
+                    (r.file, r.offset, r.size, r.op, r.client)
+                };
+                let subs = if size == 0 {
+                    Vec::new()
+                } else {
+                    files[file].split(offset, size)
+                };
+                if subs.is_empty() {
+                    // Zero-byte request: completes at the MDS.
+                    reqs[req].pending = 0;
+                    sched.schedule(now, Ev::SubDone { req });
+                    return;
+                }
+                reqs[req].pending = subs.len();
+                reqs[req].subs = subs;
+                let node = cluster.node_of(client);
+                let n_subs = reqs[req].subs.len();
+                for sub in 0..n_subs {
+                    let (_, z) = reqs[req].subs[sub];
+                    match op {
+                        OpKind::Write => {
+                            // Payload leaves through the client NIC, serialised
+                            // with the client's other outbound sub-requests.
+                            let service =
+                                SimNanos::from_secs_f64(z as f64 * net.t_s_per_byte) + latency;
+                            let grant = client_nics[node].acquire(now, service);
+                            if rec_hops {
+                                reqs[req].hops.push(SpanHop {
+                                    stage: "client_nic",
+                                    server: None,
+                                    arrive: now.as_nanos(),
+                                    start: grant.start.as_nanos(),
+                                    end: grant.end.as_nanos(),
+                                });
+                            }
+                            sched.schedule(grant.end, Ev::ArriveServerNic { req, sub });
                         }
-                        sched.schedule(grant.end, Ev::ArriveServerNic { req, sub });
-                    }
-                    OpKind::Read => {
-                        // The read request message is tiny: latency only.
-                        sched.schedule(now + latency, Ev::ArriveDisk { req, sub });
+                        OpKind::Read => {
+                            // The read request message is tiny: latency only.
+                            sched.schedule(now + latency, Ev::ArriveDisk { req, sub });
+                        }
                     }
                 }
             }
-        }
-        Ev::ArriveServerNic { req, sub } => {
-            let (server, z) = reqs[req].subs[sub];
-            let service = SimNanos::from_secs_f64(z as f64 * net.t_s_per_byte);
-            let grant = servers[server].nic.acquire(now, service);
-            if rec_on {
-                reqs[req].hops.push(SpanHop {
-                    stage: "server_nic",
-                    server: Some(server),
-                    arrive: now.as_nanos(),
-                    start: grant.start.as_nanos(),
-                    end: grant.end.as_nanos(),
-                });
-            }
-            sched.schedule(grant.end, Ev::ArriveDisk { req, sub });
-        }
-        Ev::ArriveDisk { req, sub } => {
-            let (server, z) = reqs[req].subs[sub];
-            let op = reqs[req].op;
-            let srv = &mut servers[server];
-            let mut service = cluster.profile_of(server).service_time(op, z, &mut srv.rng);
-            // Injected stragglers/degradation windows (crate::faults),
-            // from the cluster schedule and the context's fault plan.
-            let slow = crate::faults::slowdown_at(&degradations, server, now);
-            if slow != 1.0 {
-                service = harl_simcore::SimNanos::from_secs_f64(service.as_secs_f64() * slow);
-            }
-            let grant = srv.disk.acquire(now, service);
-            srv.bytes += z;
-            srv.busy_series.record(grant.start, grant.end);
-            if rec_on {
-                let labels = [
-                    ("server", server.to_string()),
-                    ("kind", cluster.profile_of(server).kind.to_string()),
-                ];
-                recorder.observe("pfs.server.queue_wait_ns", &labels, grant.queued.as_nanos());
-                recorder.observe(
-                    "pfs.server.service_ns",
-                    &labels,
-                    (grant.end - grant.start).as_nanos(),
-                );
-                reqs[req].hops.push(SpanHop {
-                    stage: "disk",
-                    server: Some(server),
-                    arrive: now.as_nanos(),
-                    start: grant.start.as_nanos(),
-                    end: grant.end.as_nanos(),
-                });
-            }
-            sched.schedule(grant.end, Ev::DiskDone { req, sub });
-        }
-        Ev::DiskDone { req, sub } => {
-            let (server, z) = reqs[req].subs[sub];
-            match reqs[req].op {
-                OpKind::Write => {
-                    // Acknowledgement back to the client: latency only.
-                    sched.schedule(now + latency, Ev::SubDone { req });
+            Ev::ArriveServerNic { req, sub } => {
+                let (server, z) = reqs[req].subs[sub];
+                let service = SimNanos::from_secs_f64(z as f64 * net.t_s_per_byte);
+                let grant = servers[server].nic.acquire(now, service);
+                if rec_hops {
+                    reqs[req].hops.push(SpanHop {
+                        stage: "server_nic",
+                        server: Some(server),
+                        arrive: now.as_nanos(),
+                        start: grant.start.as_nanos(),
+                        end: grant.end.as_nanos(),
+                    });
                 }
-                OpKind::Read => {
-                    let service = SimNanos::from_secs_f64(z as f64 * net.t_s_per_byte);
-                    let grant = servers[server].nic.acquire(now, service);
-                    if rec_on {
+                sched.schedule(grant.end, Ev::ArriveDisk { req, sub });
+            }
+            Ev::ArriveDisk { req, sub } => {
+                let (server, z) = reqs[req].subs[sub];
+                let op = reqs[req].op;
+                let srv = &mut servers[server];
+                let mut service = cluster.profile_of(server).service_time(op, z, &mut srv.rng);
+                // Injected stragglers/degradation windows (crate::faults),
+                // from the cluster schedule and the context's fault plan.
+                let slow = crate::faults::slowdown_at(&degradations, server, now);
+                if slow != 1.0 {
+                    service = harl_simcore::SimNanos::from_secs_f64(service.as_secs_f64() * slow);
+                }
+                let grant = srv.disk.acquire(now, service);
+                srv.bytes += z;
+                srv.busy_series.record(grant.start, grant.end);
+                if sampling {
+                    inflight_subs[server] += 1;
+                    inflight_bytes[server] += z;
+                }
+                if rec_on {
+                    let _rec = prof.map(|p| p.scope(Phase::Recorder));
+                    srv.queue_wait.record(grant.queued.as_nanos());
+                    srv.service.record((grant.end - grant.start).as_nanos());
+                    if rec_hops {
                         reqs[req].hops.push(SpanHop {
-                            stage: "server_nic",
+                            stage: "disk",
                             server: Some(server),
                             arrive: now.as_nanos(),
                             start: grant.start.as_nanos(),
                             end: grant.end.as_nanos(),
                         });
                     }
-                    sched.schedule(grant.end + latency, Ev::ReturnAtClient { req, sub });
+                }
+                sched.schedule(grant.end, Ev::DiskDone { req, sub });
+            }
+            Ev::DiskDone { req, sub } => {
+                let (server, z) = reqs[req].subs[sub];
+                if sampling {
+                    inflight_subs[server] -= 1;
+                    inflight_bytes[server] -= z;
+                }
+                match reqs[req].op {
+                    OpKind::Write => {
+                        // Acknowledgement back to the client: latency only.
+                        sched.schedule(now + latency, Ev::SubDone { req });
+                    }
+                    OpKind::Read => {
+                        let service = SimNanos::from_secs_f64(z as f64 * net.t_s_per_byte);
+                        let grant = servers[server].nic.acquire(now, service);
+                        if rec_hops {
+                            reqs[req].hops.push(SpanHop {
+                                stage: "server_nic",
+                                server: Some(server),
+                                arrive: now.as_nanos(),
+                                start: grant.start.as_nanos(),
+                                end: grant.end.as_nanos(),
+                            });
+                        }
+                        sched.schedule(grant.end + latency, Ev::ReturnAtClient { req, sub });
+                    }
                 }
             }
-        }
-        Ev::ReturnAtClient { req, sub } => {
-            let (_, z) = reqs[req].subs[sub];
-            let node = cluster.node_of(reqs[req].client);
-            let service = SimNanos::from_secs_f64(z as f64 * net.t_s_per_byte);
-            let grant = client_nics[node].acquire(now, service);
-            if rec_on {
-                reqs[req].hops.push(SpanHop {
-                    stage: "client_nic",
-                    server: None,
-                    arrive: now.as_nanos(),
-                    start: grant.start.as_nanos(),
-                    end: grant.end.as_nanos(),
-                });
-            }
-            sched.schedule(grant.end, Ev::SubDone { req });
-        }
-        Ev::SubDone { req } => {
-            let done = {
-                let r = &mut reqs[req];
-                r.pending = r.pending.saturating_sub(1);
-                r.pending == 0
-            };
-            if done {
-                if rec_on {
-                    let hops = std::mem::take(&mut reqs[req].hops);
-                    let r = &reqs[req];
-                    recorder.counter_add("pfs.requests.completed", &[("op", r.op.to_string())], 1);
-                    recorder.span(SpanRecord {
-                        id: req as u64,
-                        kind: "request",
-                        labels: vec![
-                            ("client", r.client.to_string()),
-                            ("op", r.op.to_string()),
-                            ("file", r.file.to_string()),
-                            ("size", r.size.to_string()),
-                            ("offset", r.offset.to_string()),
-                        ],
-                        issued: r.issued.as_nanos(),
-                        completed: now.as_nanos(),
-                        hops,
+            Ev::ReturnAtClient { req, sub } => {
+                let (_, z) = reqs[req].subs[sub];
+                let node = cluster.node_of(reqs[req].client);
+                let service = SimNanos::from_secs_f64(z as f64 * net.t_s_per_byte);
+                let grant = client_nics[node].acquire(now, service);
+                if rec_hops {
+                    reqs[req].hops.push(SpanHop {
+                        stage: "client_nic",
+                        server: None,
+                        arrive: now.as_nanos(),
+                        start: grant.start.as_nanos(),
+                        end: grant.end.as_nanos(),
                     });
                 }
-                let r = &reqs[req];
-                let lat = (now - r.issued).as_secs_f64();
-                match r.op {
-                    OpKind::Read => {
-                        read_latency.push(lat);
-                        bytes_read += r.size;
+                sched.schedule(grant.end, Ev::SubDone { req });
+            }
+            Ev::SubDone { req } => {
+                let done = {
+                    let r = &mut reqs[req];
+                    r.pending = r.pending.saturating_sub(1);
+                    r.pending == 0
+                };
+                if done {
+                    if rec_on {
+                        let _rec = prof.map(|p| p.scope(Phase::Recorder));
+                        completed_by_op[op_index(reqs[req].op)] += 1;
                     }
-                    OpKind::Write => {
-                        write_latency.push(lat);
-                        bytes_written += r.size;
+                    if rec_spans {
+                        let _rec = prof.map(|p| p.scope(Phase::Recorder));
+                        let hops = std::mem::take(&mut reqs[req].hops);
+                        let r = &reqs[req];
+                        recorder.span(SpanRecord {
+                            id: req as u64,
+                            kind: "request",
+                            labels: vec![
+                                ("client", r.client.to_string()),
+                                ("op", r.op.to_string()),
+                                ("file", r.file.to_string()),
+                                ("size", r.size.to_string()),
+                                ("offset", r.offset.to_string()),
+                            ],
+                            issued: r.issued.as_nanos(),
+                            completed: now.as_nanos(),
+                            hops,
+                        });
+                    }
+                    let r = &reqs[req];
+                    let lat = (now - r.issued).as_secs_f64();
+                    match r.op {
+                        OpKind::Read => {
+                            read_latency.push(lat);
+                            bytes_read += r.size;
+                        }
+                        OpKind::Write => {
+                            write_latency.push(lat);
+                            bytes_written += r.size;
+                        }
+                    }
+                    completed += 1;
+                    last_completion = last_completion.max(now);
+                    let client = r.client;
+                    let c = &mut clients[client];
+                    c.batch_pending -= 1;
+                    if c.batch_pending == 0 {
+                        sched.schedule(now, Ev::StartStep { client });
                     }
                 }
-                completed += 1;
-                last_completion = last_completion.max(now);
-                let client = r.client;
-                let c = &mut clients[client];
-                c.batch_pending -= 1;
-                if c.batch_pending == 0 {
-                    sched.schedule(now, Ev::StartStep { client });
+            }
+            Ev::Sample => {
+                // Read-only: sampling must not perturb the simulation. The
+                // tick re-arms itself only while real work remains queued, so
+                // it never extends the run past the last completion.
+                let window = now - last_sample;
+                for (id, s) in servers.iter().enumerate() {
+                    let labels = [
+                        ("server", id.to_string()),
+                        ("kind", cluster.profile_of(id).kind.to_string()),
+                    ];
+                    let next_free = s.disk.next_free();
+                    let booked = s.disk.busy_time();
+                    let busy_to_now = if next_free > now {
+                        booked - (next_free - now)
+                    } else {
+                        booked
+                    };
+                    let window_busy = busy_to_now - prev_busy[id];
+                    prev_busy[id] = busy_to_now;
+                    let util = if window.is_zero() {
+                        0.0
+                    } else {
+                        window_busy.as_nanos() as f64 / window.as_nanos() as f64
+                    };
+                    let t = now.as_nanos();
+                    recorder.series_point(
+                        registry::PFS_SERVER_QUEUE_DEPTH.name,
+                        &labels,
+                        t,
+                        inflight_subs[id] as f64,
+                    );
+                    recorder.series_point(registry::PFS_SERVER_UTIL.name, &labels, t, util);
+                    recorder.series_point(
+                        registry::PFS_SERVER_INFLIGHT_BYTES.name,
+                        &labels,
+                        t,
+                        inflight_bytes[id] as f64,
+                    );
+                }
+                last_sample = now;
+                if sched.pending() > 0 {
+                    if let Some(dt) = sample_dt {
+                        sched.schedule(now + dt, Ev::Sample);
+                    }
                 }
             }
         }
-    });
+    };
+
+    match prof {
+        Some(p) => engine.run_profiled(p, handler),
+        None => engine.run(handler),
+    }
 
     if rec_on {
         engine.record_metrics(recorder);
+        for (op, i) in [(OpKind::Read, 0usize), (OpKind::Write, 1)] {
+            if issued_by_op[i] > 0 {
+                recorder.counter_add(
+                    registry::PFS_REQUESTS_ISSUED.name,
+                    &[("op", op.to_string())],
+                    issued_by_op[i],
+                );
+            }
+            if completed_by_op[i] > 0 {
+                recorder.counter_add(
+                    registry::PFS_REQUESTS_COMPLETED.name,
+                    &[("op", op.to_string())],
+                    completed_by_op[i],
+                );
+            }
+        }
         for (id, s) in servers.iter().enumerate() {
             let labels = [
                 ("server", id.to_string()),
                 ("kind", cluster.profile_of(id).kind.to_string()),
             ];
-            recorder.counter_add("pfs.server.bytes", &labels, s.bytes);
-            recorder.counter_add("pfs.server.sub_requests", &labels, s.disk.jobs_served());
+            recorder.counter_add(registry::PFS_SERVER_BYTES.name, &labels, s.bytes);
+            recorder.counter_add(
+                registry::PFS_SERVER_SUB_REQUESTS.name,
+                &labels,
+                s.disk.jobs_served(),
+            );
+            recorder.merge_histogram(
+                registry::PFS_SERVER_QUEUE_WAIT_NS.name,
+                &labels,
+                &s.queue_wait,
+            );
+            recorder.merge_histogram(registry::PFS_SERVER_SERVICE_NS.name, &labels, &s.service);
+        }
+        if let Some(p) = prof {
+            p.record_metrics(recorder);
         }
     }
 
@@ -818,6 +977,174 @@ mod tests {
         assert_eq!(plain.makespan, recorded.makespan);
         assert_eq!(plain.bytes_written, recorded.bytes_written);
         assert_eq!(rec.spans().len(), 32);
+    }
+
+    #[test]
+    fn metrics_only_run_keeps_metrics_sheds_tracing() {
+        use harl_simcore::metrics::{MemoryRecorder, TraceDetail};
+        let (cluster, files) = one_file_cluster(64 * 1024);
+        let programs = vec![sync_program(vec![
+            PhysRequest::read(0, 0, 512 * 1024),
+            PhysRequest::write(0, 512 * 1024, 512 * 1024),
+        ])];
+        let full = std::sync::Arc::new(MemoryRecorder::new());
+        let full_report = simulate(
+            &SimContext::recorded(full.clone()),
+            &cluster,
+            &files,
+            &programs,
+        );
+        let lean = std::sync::Arc::new(MemoryRecorder::metrics_only());
+        let lean_report = simulate(
+            &SimContext::recorded(lean.clone()),
+            &cluster,
+            &files,
+            &programs,
+        );
+        // Shedding tracing must not perturb simulated time...
+        assert_eq!(full_report.makespan, lean_report.makespan);
+        // ...or any metric family: counters, histograms, engine gauges.
+        assert!(lean.spans().is_empty());
+        assert_eq!(
+            lean.counter_value("pfs.requests.completed", &[("op", "read".to_string())]),
+            full.counter_value("pfs.requests.completed", &[("op", "read".to_string())]),
+        );
+        for s in &full_report.servers {
+            let labels = [("server", s.id.to_string()), ("kind", s.kind.to_string())];
+            let fh = full.histogram_snapshot("pfs.server.service_ns", &labels);
+            let lh = lean.histogram_snapshot("pfs.server.service_ns", &labels);
+            assert_eq!(
+                fh.as_ref().map(Histogram::count),
+                lh.as_ref().map(Histogram::count)
+            );
+        }
+        assert_eq!(
+            lean.counter_value("sim.events.dispatched", &[]),
+            full.counter_value("sim.events.dispatched", &[]),
+        );
+
+        // The middle tier keeps one span per request but no hop detail.
+        let spans_only = std::sync::Arc::new(MemoryRecorder::with_detail(TraceDetail::Spans));
+        simulate(
+            &SimContext::recorded(spans_only.clone()),
+            &cluster,
+            &files,
+            &programs,
+        );
+        let spans = spans_only.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.hops.is_empty()));
+    }
+
+    #[test]
+    fn sampled_run_matches_unsampled_run() {
+        use harl_simcore::MemoryRecorder;
+        let (cluster, files) = one_file_cluster(64 * 1024);
+        let programs: Vec<_> = (0..4)
+            .map(|c| {
+                sync_program(
+                    (0..8u64)
+                        .map(|i| PhysRequest::write(0, (c * 8 + i) * 512 * 1024, 512 * 1024))
+                        .collect(),
+                )
+            })
+            .collect();
+        let plain = run(&cluster, &files, &programs);
+        let rec = std::sync::Arc::new(MemoryRecorder::new());
+        let ctx = SimContext::recorded(rec.clone()).with_sample_interval(SimNanos::from_millis(5));
+        let sampled = simulate(&ctx, &cluster, &files, &programs);
+        // Sampling is read-only: makespan and per-server loads unchanged.
+        assert_eq!(plain.makespan, sampled.makespan);
+        for (a, b) in plain.servers.iter().zip(&sampled.servers) {
+            assert_eq!(a.disk_busy, b.disk_busy);
+        }
+        // And every server produced the three time-series.
+        let labels = [
+            ("server", "0".to_string()),
+            ("kind", cluster.profile_of(0).kind.to_string()),
+        ];
+        let depth = rec
+            .series_points("pfs.server.queue_depth", &labels)
+            .expect("queue depth series");
+        assert!(!depth.is_empty());
+        let util = rec
+            .series_points("pfs.server.util", &labels)
+            .expect("util series");
+        assert_eq!(depth.len(), util.len());
+        // Sample timestamps advance by exactly the interval.
+        for w in util.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, 5_000_000);
+        }
+        // Utilisation is a fraction of the window.
+        for &(_, u) in &util {
+            assert!((0.0..=1.0).contains(&u), "util {u} out of range");
+        }
+        assert!(rec
+            .series_points("pfs.server.inflight_bytes", &labels)
+            .is_some());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_across_thread_counts() {
+        use harl_simcore::MemoryRecorder;
+        let (cluster, files) = one_file_cluster(64 * 1024);
+        let programs: Vec<_> = (0..4)
+            .map(|c| {
+                sync_program(
+                    (0..8u64)
+                        .map(|i| PhysRequest::read(0, (c * 8 + i) * 512 * 1024, 512 * 1024))
+                        .collect(),
+                )
+            })
+            .collect();
+        let sample = |threads: usize| {
+            let rec = std::sync::Arc::new(MemoryRecorder::new());
+            let ctx = SimContext::recorded(rec.clone())
+                .with_seed(42)
+                .with_threads(threads)
+                .with_sample_interval(SimNanos::from_millis(2));
+            simulate(&ctx, &cluster, &files, &programs);
+            let labels = [
+                ("server", "3".to_string()),
+                ("kind", cluster.profile_of(3).kind.to_string()),
+            ];
+            (
+                rec.series_points("pfs.server.queue_depth", &labels),
+                rec.series_points("pfs.server.util", &labels),
+                rec.series_points("pfs.server.inflight_bytes", &labels),
+            )
+        };
+        // Same seed + interval => bit-identical series, thread count moot.
+        assert_eq!(sample(1), sample(8));
+    }
+
+    #[test]
+    fn profiled_run_attributes_time_and_matches_plain() {
+        use harl_simcore::{MemoryRecorder, PhaseProfiler};
+        use std::sync::Arc;
+        let (cluster, files) = one_file_cluster(64 * 1024);
+        let programs: Vec<_> = (0..4)
+            .map(|c| {
+                sync_program(
+                    (0..8u64)
+                        .map(|i| PhysRequest::write(0, (c * 8 + i) * 512 * 1024, 512 * 1024))
+                        .collect(),
+                )
+            })
+            .collect();
+        let plain = run(&cluster, &files, &programs);
+        let rec = Arc::new(MemoryRecorder::new());
+        let prof = Arc::new(PhaseProfiler::new());
+        let ctx = SimContext::recorded(rec.clone()).with_profiler(prof.clone());
+        let profiled = simulate(&ctx, &cluster, &files, &programs);
+        assert_eq!(plain.makespan, profiled.makespan);
+        // Wall time landed in the dispatch and handler buckets, and the
+        // profile gauges were exported at the end of the run.
+        assert!(prof.phase_ns(Phase::Dispatch) > 0);
+        assert!(prof.phase_ns(Phase::DeviceService) > 0);
+        assert!(prof.phase_ns(Phase::QueueDrain) > 0);
+        assert!(prof.phase_ns(Phase::Recorder) > 0);
+        assert!(rec.gauge_value("sim.profile.dispatch_s", &[]).is_some());
     }
 
     #[test]

@@ -13,13 +13,18 @@
 //! * the **fault plan**: [`Degradation`] windows injected on top of
 //!   whatever the cluster config already carries;
 //! * an optional **thread budget** override for the planner's fan-out
-//!   (when unset, `OptimizerConfig::threads` applies).
+//!   (when unset, `OptimizerConfig::threads` applies);
+//! * the flight-recorder knobs: a **sample interval** that turns on
+//!   deterministic time-series sampling in the simulator, and an optional
+//!   [`PhaseProfiler`] attributing engine wall time to phase buckets.
 //!
 //! Contexts are cheap to clone (the recorder is behind an `Arc`) and are
 //! passed by reference: `simulate(&ctx, …)`, `policy.plan(&ctx, …)`.
 
 use crate::faults::Degradation;
 use crate::metrics::{NoopRecorder, Recorder};
+use crate::profiler::PhaseProfiler;
+use crate::time::SimNanos;
 use std::sync::Arc;
 
 /// Cross-cutting state threaded through every stage of a simulation run.
@@ -50,6 +55,13 @@ pub struct SimContext {
     /// Fault plan applied in addition to the cluster's own
     /// degradation schedule.
     pub faults: Vec<Degradation>,
+    /// Sim-time interval between flight-recorder samples; `None` disables
+    /// time-series sampling entirely (the default — sampling only reads
+    /// state, but the sample events still cost engine dispatches).
+    pub sample_interval: Option<SimNanos>,
+    /// Wall-time phase profiler; `None` (the default) skips all scope
+    /// timers.
+    profiler: Option<Arc<PhaseProfiler>>,
 }
 
 impl std::fmt::Debug for SimContext {
@@ -59,6 +71,8 @@ impl std::fmt::Debug for SimContext {
             .field("seed", &self.seed)
             .field("threads", &self.threads)
             .field("faults", &self.faults)
+            .field("sample_interval", &self.sample_interval)
+            .field("profiled", &self.profiler.is_some())
             .finish()
     }
 }
@@ -78,6 +92,8 @@ impl SimContext {
             seed: None,
             threads: None,
             faults: Vec::new(),
+            sample_interval: None,
+            profiler: None,
         }
     }
 
@@ -111,6 +127,27 @@ impl SimContext {
     pub fn with_fault(mut self, fault: Degradation) -> Self {
         self.faults.push(fault.validated());
         self
+    }
+
+    /// Enable time-series sampling at `interval` of simulated time.
+    ///
+    /// A zero interval is rejected (it would sample forever without
+    /// advancing); pass `None` by omitting the call to keep sampling off.
+    pub fn with_sample_interval(mut self, interval: SimNanos) -> Self {
+        self.sample_interval = (interval > SimNanos::ZERO).then_some(interval);
+        self
+    }
+
+    /// Attach a wall-time phase profiler.
+    pub fn with_profiler(mut self, profiler: Arc<PhaseProfiler>) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// The attached phase profiler, if any.
+    #[inline]
+    pub fn profiler(&self) -> Option<&PhaseProfiler> {
+        self.profiler.as_deref()
     }
 
     /// The metrics/span sink.
@@ -172,6 +209,23 @@ mod tests {
         assert!(ctx.recorder().is_enabled());
         ctx.recorder().counter_add("x", &[], 1);
         assert_eq!(rec.counter_value("x", &[]), 1);
+    }
+
+    #[test]
+    fn sample_interval_and_profiler_attach() {
+        let ctx = SimContext::new();
+        assert_eq!(ctx.sample_interval, None);
+        assert!(ctx.profiler().is_none());
+
+        let prof = Arc::new(PhaseProfiler::new());
+        let ctx = SimContext::new()
+            .with_sample_interval(SimNanos::from_millis(10))
+            .with_profiler(prof.clone());
+        assert_eq!(ctx.sample_interval, Some(SimNanos::from_millis(10)));
+        assert!(ctx.profiler().is_some());
+        // Zero interval means "off", not "sample forever at one instant".
+        let ctx = SimContext::new().with_sample_interval(SimNanos::ZERO);
+        assert_eq!(ctx.sample_interval, None);
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub mod context;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
+pub mod profiler;
+pub mod registry;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -42,6 +44,8 @@ pub use context::SimContext;
 pub use engine::{Engine, EventId, Scheduler};
 pub use faults::{slowdown_at, Degradation};
 pub use metrics::{MemoryRecorder, NoopRecorder, Recorder, SpanHop, SpanRecord};
+pub use profiler::{Phase, PhaseProfiler};
+pub use registry::{MetricDef, MetricKind, Unit};
 pub use rng::SimRng;
 pub use stats::{coefficient_of_variation, Histogram, OnlineStats};
 pub use time::SimNanos;

@@ -14,6 +14,13 @@
 //!   and magnitude both matter (predicted-vs-actual cost residuals).
 //! * **Spans** — one record per simulated request capturing its lifecycle
 //!   (issue → queue → service → complete) as per-hop sim-time intervals.
+//! * **Series** — sampled `(sim-time, value)` time-series (per-server queue
+//!   depth, utilisation, in-flight bytes), captured at a configurable
+//!   sim-time interval by the flight recorder and therefore exactly
+//!   reproducible: same seed and interval ⇒ byte-identical samples.
+//!
+//! Metric names are never spelled inline: every name is a typed constant in
+//! [`crate::registry`], enforced by the `metric-registry` lint rule.
 //!
 //! Metrics are identified by a name plus a small label set (`server`,
 //! `kind`, `region`, …), so one metric name covers a whole family of
@@ -123,8 +130,43 @@ pub trait Recorder: Send + Sync {
     /// `name{labels}` (used for model residuals).
     fn observe_f64(&self, name: &'static str, labels: &Labels<'_>, value: f64);
 
+    /// Merge a locally-accumulated histogram into `name{labels}` in one
+    /// call — equivalent to [`Recorder::observe`]-ing every value it holds.
+    ///
+    /// Hot loops (the PFS disk path) keep an alloc-free local [`Histogram`]
+    /// per server and flush it once at the end of the run, so the per-event
+    /// recorder cost stays off the critical path. Default: drops the data;
+    /// recorders that keep histograms must override.
+    fn merge_histogram(&self, name: &'static str, labels: &Labels<'_>, hist: &Histogram) {
+        let _ = (name, labels, hist);
+    }
+
+    /// Record one sampled time-series point: `name{labels}` had `value` at
+    /// simulated time `t_ns`. Default: drops the point; recorders that keep
+    /// series must override.
+    fn series_point(&self, name: &'static str, labels: &Labels<'_>, t_ns: u64, value: f64) {
+        let _ = (name, labels, t_ns, value);
+    }
+
     /// Record one completed request span.
     fn span(&self, span: SpanRecord);
+
+    /// Whether this recorder keeps request spans. Instrumentation sites
+    /// use this to skip span assembly (label formatting, hop collection)
+    /// entirely when spans would be dropped anyway. Default: spans are
+    /// kept whenever the recorder is enabled.
+    fn wants_spans(&self) -> bool {
+        self.is_enabled()
+    }
+
+    /// Whether this recorder keeps per-hop span detail
+    /// ([`SpanRecord::hops`]). Hop collection is the most expensive part
+    /// of the instrumented hot path (several pushes per sub-request), so
+    /// recorders can keep spans while shedding hops. Default: follows
+    /// [`Recorder::wants_spans`].
+    fn wants_hops(&self) -> bool {
+        self.wants_spans()
+    }
 }
 
 /// The default recorder: drops everything, costs nothing.
@@ -162,19 +204,55 @@ struct Registry {
     gauges: BTreeMap<SeriesKey, f64>,
     histograms: BTreeMap<SeriesKey, Histogram>,
     summaries: BTreeMap<SeriesKey, OnlineStats>,
+    series: BTreeMap<SeriesKey, Vec<(u64, f64)>>,
     spans: Vec<SpanRecord>,
+}
+
+/// How much tracing detail a [`MemoryRecorder`] keeps alongside metrics.
+///
+/// Metrics (counters, gauges, histograms, summaries, series) are always
+/// kept; the tiers only govern the request-tracing side, which is the
+/// expensive part of the instrumented hot path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TraceDetail {
+    /// Metrics only: spans are dropped, span assembly is skipped at the
+    /// instrumentation sites. The cheapest recorded mode — the
+    /// `bench-sim` recorder-overhead budget (< 5%) is measured here.
+    Metrics,
+    /// Metrics plus one [`SpanRecord`] per request, without per-hop
+    /// detail.
+    Spans,
+    /// Everything, including per-hop queueing detail on every span (the
+    /// Chrome-trace flight-recorder mode).
+    #[default]
+    Hops,
 }
 
 /// A [`Recorder`] that accumulates everything in memory for later export.
 #[derive(Default)]
 pub struct MemoryRecorder {
     inner: Mutex<Registry>,
+    detail: TraceDetail,
 }
 
 impl MemoryRecorder {
-    /// An empty recorder.
+    /// An empty recorder keeping full detail ([`TraceDetail::Hops`]).
     pub fn new() -> Self {
         MemoryRecorder::default()
+    }
+
+    /// An empty recorder at the given tracing detail.
+    pub fn with_detail(detail: TraceDetail) -> Self {
+        MemoryRecorder {
+            inner: Mutex::default(),
+            detail,
+        }
+    }
+
+    /// An empty recorder keeping metrics but no spans
+    /// ([`TraceDetail::Metrics`]).
+    pub fn metrics_only() -> Self {
+        MemoryRecorder::with_detail(TraceDetail::Metrics)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Registry> {
@@ -217,10 +295,19 @@ impl MemoryRecorder {
         self.lock().spans.clone()
     }
 
+    /// Sampled `(sim-time ns, value)` points of a time-series, if written.
+    pub fn series_points(
+        &self,
+        name: &'static str,
+        labels: &Labels<'_>,
+    ) -> Option<Vec<(u64, f64)>> {
+        self.lock().series.get(&series_key(name, labels)).cloned()
+    }
+
     /// Number of distinct metric series recorded (all types).
     pub fn series_count(&self) -> usize {
         let r = self.lock();
-        r.counters.len() + r.gauges.len() + r.histograms.len() + r.summaries.len()
+        r.counters.len() + r.gauges.len() + r.histograms.len() + r.summaries.len() + r.series.len()
     }
 
     fn labels_value(labels: &[(&'static str, String)]) -> Value {
@@ -298,8 +385,9 @@ impl MemoryRecorder {
     /// Line shapes (`type` discriminates): `counter` (`value`), `gauge`
     /// (`value`), `histogram` (`count`, `p50`/`p95`/`p99` upper bounds,
     /// `buckets` as `[upper_bound, count]` pairs), `summary` (`count`,
-    /// `mean`, `std_dev`, `min`, `max`), `span` (lifecycle with per-hop
-    /// `queue_ns`/`service_ns`).
+    /// `mean`, `std_dev`, `min`, `max`), `series` (`points` as
+    /// `[t_ns, value]` pairs in sample order), `span` (lifecycle with
+    /// per-hop `queue_ns`/`service_ns`).
     pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
         let r = self.lock();
         for ((name, labels), value) in &r.counters {
@@ -369,6 +457,27 @@ impl MemoryRecorder {
             );
             writeln!(w, "{}", serde_json::to_string(&line)?)?;
         }
+        for ((name, labels), points) in &r.series {
+            let pts: Vec<Value> = points
+                .iter()
+                .map(|&(t, v)| {
+                    Value::Array(vec![
+                        Value::Number(Number::U64(t)),
+                        Value::Number(Number::F64(v)),
+                    ])
+                })
+                .collect();
+            let line = Self::line(
+                "series",
+                name,
+                labels,
+                vec![
+                    ("points", Value::Array(pts)),
+                    ("count", Value::Number(Number::U64(points.len() as u64))),
+                ],
+            );
+            writeln!(w, "{}", serde_json::to_string(&line)?)?;
+        }
         for span in &r.spans {
             writeln!(w, "{}", serde_json::to_string(&Self::span_value(span))?)?;
         }
@@ -379,10 +488,34 @@ impl MemoryRecorder {
     /// form with a `traceEvents` array), loadable in `chrome://tracing` or
     /// Perfetto. One complete (`ph: "X"`) event per hop; `tid` is the server
     /// index (or 0 for shared resources), timestamps are microseconds of
-    /// simulated time.
+    /// simulated time. Sampled time-series become counter (`ph: "C"`)
+    /// events, which the trace viewers render as stacked area charts.
     pub fn write_chrome_trace<W: Write>(&self, w: &mut W) -> io::Result<()> {
         let r = self.lock();
         let mut events: Vec<Value> = Vec::new();
+        for ((name, labels), points) in &r.series {
+            // Per-server series carry a `server` label; surface it in the
+            // track name so each server gets its own counter track.
+            let track = labels
+                .iter()
+                .find(|(k, _)| *k == "server")
+                .map(|(_, v)| format!("{name}[{v}]"))
+                .unwrap_or_else(|| (*name).to_string());
+            for &(t_ns, value) in points {
+                let mut ev = Map::new();
+                ev.insert("name".to_string(), Value::String(track.clone()));
+                ev.insert("ph".to_string(), Value::String("C".to_string()));
+                ev.insert(
+                    "ts".to_string(),
+                    Value::Number(Number::F64(t_ns as f64 / 1000.0)),
+                );
+                ev.insert("pid".to_string(), Value::Number(Number::U64(0)));
+                let mut args = Map::new();
+                args.insert("value".to_string(), Value::Number(Number::F64(value)));
+                ev.insert("args".to_string(), Value::Object(args));
+                events.push(Value::Object(ev));
+            }
+        }
         for span in &r.spans {
             for hop in &span.hops {
                 let mut ev = Map::new();
@@ -472,8 +605,35 @@ impl Recorder for MemoryRecorder {
             .push(value);
     }
 
+    fn merge_histogram(&self, name: &'static str, labels: &Labels<'_>, hist: &Histogram) {
+        self.lock()
+            .histograms
+            .entry(series_key(name, labels))
+            .or_default()
+            .merge(hist);
+    }
+
+    fn series_point(&self, name: &'static str, labels: &Labels<'_>, t_ns: u64, value: f64) {
+        self.lock()
+            .series
+            .entry(series_key(name, labels))
+            .or_default()
+            .push((t_ns, value));
+    }
+
     fn span(&self, span: SpanRecord) {
+        if self.detail == TraceDetail::Metrics {
+            return;
+        }
         self.lock().spans.push(span);
+    }
+
+    fn wants_spans(&self) -> bool {
+        self.detail != TraceDetail::Metrics
+    }
+
+    fn wants_hops(&self) -> bool {
+        self.detail == TraceDetail::Hops
     }
 }
 
@@ -610,6 +770,119 @@ mod tests {
         }
         kinds.sort();
         assert_eq!(kinds, ["counter", "gauge", "histogram", "span", "summary"]);
+    }
+
+    #[test]
+    fn merge_histogram_equals_pointwise_observe() {
+        let merged = MemoryRecorder::new();
+        let pointwise = MemoryRecorder::new();
+        let mut local = Histogram::new();
+        for v in [3u64, 9, 1024, 0, 77] {
+            local.record(v);
+            pointwise.observe("wait", &labels(2), v);
+        }
+        merged.merge_histogram("wait", &labels(2), &local);
+        let a = merged.histogram_snapshot("wait", &labels(2)).unwrap();
+        let b = pointwise.histogram_snapshot("wait", &labels(2)).unwrap();
+        assert_eq!(a.count(), b.count());
+        assert_eq!(
+            a.nonzero_buckets().collect::<Vec<_>>(),
+            b.nonzero_buckets().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn series_points_keep_sample_order() {
+        let r = MemoryRecorder::new();
+        r.series_point("depth", &labels(1), 100, 2.0);
+        r.series_point("depth", &labels(1), 200, 5.0);
+        r.series_point("depth", &labels(2), 100, 1.0);
+        assert_eq!(
+            r.series_points("depth", &labels(1)),
+            Some(vec![(100, 2.0), (200, 5.0)])
+        );
+        assert_eq!(r.series_points("depth", &labels(9)), None);
+        assert_eq!(r.series_count(), 2);
+    }
+
+    #[test]
+    fn series_jsonl_and_chrome_counter_events() {
+        let r = MemoryRecorder::new();
+        r.series_point("util", &labels(3), 1_000_000, 0.5);
+        r.series_point("util", &labels(3), 2_000_000, 0.75);
+        let mut buf = Vec::new();
+        r.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let v: Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        let obj = match v {
+            Value::Object(m) => m,
+            other => panic!("not an object: {other:?}"),
+        };
+        assert_eq!(obj.get("type"), Some(&Value::String("series".to_string())));
+        let points = match obj.get("points") {
+            Some(Value::Array(a)) => a,
+            other => panic!("missing points: {other:?}"),
+        };
+        assert_eq!(points.len(), 2);
+
+        let mut buf = Vec::new();
+        r.write_chrome_trace(&mut buf).unwrap();
+        let v: Value = serde_json::from_str(&String::from_utf8(buf).unwrap()).unwrap();
+        let events = match &v {
+            Value::Object(m) => match m.get("traceEvents") {
+                Some(Value::Array(a)) => a,
+                other => panic!("missing traceEvents: {other:?}"),
+            },
+            other => panic!("not an object: {other:?}"),
+        };
+        assert_eq!(events.len(), 2);
+        let first = match &events[0] {
+            Value::Object(m) => m,
+            other => panic!("event not object: {other:?}"),
+        };
+        assert_eq!(first.get("ph"), Some(&Value::String("C".to_string())));
+        assert_eq!(
+            first.get("name"),
+            Some(&Value::String("util[3]".to_string()))
+        );
+    }
+
+    #[test]
+    fn default_trait_bodies_drop_series_and_histograms() {
+        // NoopRecorder inherits the default no-op bodies; exercising them
+        // pins the API shape for custom recorders.
+        let r = NoopRecorder;
+        r.series_point("x", &[], 1, 1.0);
+        r.merge_histogram("y", &[], &Histogram::new());
+    }
+
+    #[test]
+    fn trace_detail_tiers_gate_spans_and_hops() {
+        let span = || SpanRecord {
+            id: 1,
+            kind: "request",
+            labels: vec![],
+            issued: 0,
+            completed: 10,
+            hops: vec![],
+        };
+
+        let full = MemoryRecorder::new();
+        assert!(full.wants_spans() && full.wants_hops());
+
+        let spans_only = MemoryRecorder::with_detail(TraceDetail::Spans);
+        assert!(spans_only.wants_spans() && !spans_only.wants_hops());
+        spans_only.span(span());
+        assert_eq!(spans_only.spans().len(), 1);
+
+        // Metrics mode drops spans even if one is handed over, and still
+        // keeps every metric family.
+        let lean = MemoryRecorder::metrics_only();
+        assert!(!lean.wants_spans() && !lean.wants_hops());
+        lean.span(span());
+        assert!(lean.spans().is_empty());
+        lean.counter_add("sim.events.dispatched", &[], 2);
+        assert_eq!(lean.counter_value("sim.events.dispatched", &[]), 2);
     }
 
     #[test]

@@ -195,6 +195,17 @@ impl Histogram {
         Some(u64::MAX)
     }
 
+    /// Merge another histogram into this one (bucket-wise sum).
+    ///
+    /// Lets hot loops accumulate into a local, lock-free histogram and
+    /// flush once — equivalent to recording every value individually.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+    }
+
     /// Iterate over non-empty `(bucket_upper_bound, count)` pairs.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -341,6 +352,26 @@ mod tests {
         // Out-of-range quantiles clamp rather than panic.
         assert_eq!(h.quantile_upper_bound(-1.0), Some(63));
         assert_eq!(h.quantile_upper_bound(2.0), Some(63));
+    }
+
+    #[test]
+    fn histogram_merge_equals_sequential() {
+        let xs: Vec<u64> = (0..200).map(|i| (i * 37) % 5000).collect();
+        let mut all = Histogram::new();
+        xs.iter().for_each(|&x| all.record(x));
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        xs[..77].iter().for_each(|&x| a.record(x));
+        xs[77..].iter().for_each(|&x| b.record(x));
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(
+            a.nonzero_buckets().collect::<Vec<_>>(),
+            all.nonzero_buckets().collect::<Vec<_>>()
+        );
+        // Merging an empty histogram changes nothing.
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), all.count());
     }
 
     #[test]
