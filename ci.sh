@@ -73,9 +73,11 @@ cargo run --release -q -p harl-bench --bin harl-cli -- \
 python3 - "$out/BENCH_sim.json" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == "harl.bench.sim.v1", doc["schema"]
+assert doc["schema"] == "harl.bench.sim.v2", doc["schema"]
 tiers = doc["tiers"]
-assert [t["servers"] for t in tiers] == [8, 256, 1024], tiers
+assert [t["servers"] for t in tiers] == [8, 256, 1024, 4096], tiers
+requests = [t["requests"] for t in tiers]
+assert len(set(requests)) > 1, f"request axis must vary across tiers: {requests}"
 for t in tiers:
     assert t["events"] > 0 and t["events_per_s"] > 0, t
     assert t["requests_completed"] == t["requests"], t
@@ -83,5 +85,12 @@ assert "max_recorder_overhead_pct" in doc
 print("bench-sim JSON schema OK")
 PY
 rm -rf "$out"
+
+echo "== bench-sim regression guard =="
+# Full-scale noop-only rerun of every tier; fails if events/s at any tier
+# drops more than 20% below the committed BENCH_sim.json baseline (or if
+# the deterministic event counts drift, which means the baseline is stale).
+cargo run --release -q -p harl-bench --bin harl-cli -- \
+    bench-sim --guard BENCH_sim.json
 
 echo "CI OK"

@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! experiments [--paper] [--out DIR] [--metrics-out FILE] [--trace-out FILE]
+//!             [--threads T]
 //!             <fig1a|fig1b|fig7|fig8|fig9|fig10|fig11|fig12|headline|all>
 //! ```
+//!
+//! `--threads` pins the simulator's deterministic shard pool; every figure
+//! is byte-identical at any setting, so it only changes wall-clock time.
 //!
 //! `--paper` runs at the paper's full sizes (16 GiB IOR files, ≈1.7 GB
 //! BTIO); the default quick scale is shape-identical. Tables print to
@@ -25,6 +29,7 @@ use std::path::PathBuf;
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [--paper] [--out DIR] [--metrics-out FILE] [--trace-out FILE] \
+         [--threads T] \
          <fig1a|fig1b|fig7|fig8|fig9|fig10|fig11|fig12|headline|\
          abl-region|abl-step|abl-model|abl-profiles|abl-straggler|abl-multiapp|all|ablations>"
     );
@@ -50,6 +55,13 @@ fn main() {
             }
             "--trace-out" => {
                 trace_out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--threads" => {
+                let t = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                harl_bench::harness::set_threads(t);
             }
             "--help" | "-h" => usage(),
             name => targets.push(name.to_string()),

@@ -12,7 +12,7 @@
 //!                      [--metrics-out metrics.jsonl] [--trace-out trace.json]
 //!                      [--sample-ms MS]
 //! harl-cli bench-planning [--json] [--quick] [--threads T] [--out path]
-//! harl-cli bench-sim   [--json] [--quick] [--out path]
+//! harl-cli bench-sim   [--json] [--quick] [--guard baseline.json] [--out path]
 //! harl-cli report      <metrics.jsonl>
 //! harl-cli run --scenario scenario.json [--out report.json] [--seed S]
 //!              [--threads T] [--metrics-out metrics.jsonl] [--sample-ms MS]
@@ -54,7 +54,7 @@ fn usage() -> ! {
          [--hservers M] [--sservers N] [--metrics-out metrics.jsonl] [--trace-out trace.json] \
          [--sample-ms MS]\n  \
          harl-cli bench-planning [--json] [--quick] [--threads T] [--out path]\n  \
-         harl-cli bench-sim [--json] [--quick] [--out path]\n  \
+         harl-cli bench-sim [--json] [--quick] [--guard baseline.json] [--out path]\n  \
          harl-cli report <metrics.jsonl>\n  \
          harl-cli run --scenario scenario.json [--out report.json] [--seed S] [--threads T] \
          [--metrics-out metrics.jsonl] [--sample-ms MS]\n  \
@@ -91,6 +91,7 @@ struct Opts {
     seed: Option<u64>,
     root: Option<PathBuf>,
     sample_ms: Option<f64>,
+    guard: Option<PathBuf>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -110,6 +111,7 @@ fn parse_opts(args: &[String]) -> Opts {
         seed: None,
         root: None,
         sample_ms: None,
+        guard: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -157,6 +159,7 @@ fn parse_opts(args: &[String]) -> Opts {
                 }
             }
             "--root" => opts.root = Some(it.next().map(PathBuf::from).unwrap_or_else(|| usage())),
+            "--guard" => opts.guard = Some(it.next().map(PathBuf::from).unwrap_or_else(|| usage())),
             "--sample-ms" => {
                 opts.sample_ms = it.next().and_then(|v| v.parse().ok());
                 match opts.sample_ms {
@@ -444,9 +447,30 @@ fn cmd_bench_planning(opts: &Opts) {
 }
 
 fn cmd_bench_sim(opts: &Opts) {
-    use harl_bench::simbench::{run_sim_bench, SimScale};
+    use harl_bench::simbench::{run_sim_bench, run_sim_guard, SimScale};
     if !opts.positional.is_empty() {
         usage();
+    }
+    if let Some(path) = &opts.guard {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let baseline: serde_json::Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("baseline {} is not JSON: {e}", path.display());
+            std::process::exit(1);
+        });
+        match run_sim_guard(&baseline) {
+            Ok(lines) => {
+                print!("{lines}");
+                println!("events/s within budget of {}", path.display());
+            }
+            Err(msg) => {
+                eprintln!("bench-sim guard: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
     let scale = if opts.quick {
         SimScale::quick()
@@ -466,7 +490,7 @@ fn cmd_bench_sim(opts: &Opts) {
         }
     }
     println!(
-        "max recorder overhead: {:+.2}% (budget < 5%)",
+        "max recorder overhead: {:+.2}% (budget < 15%)",
         doc["max_recorder_overhead_pct"].as_f64().unwrap_or(0.0)
     );
     if opts.json {

@@ -13,6 +13,15 @@ use serde::Serialize;
 use std::sync::{Arc, OnceLock};
 
 static GLOBAL_RECORDER: OnceLock<Arc<MemoryRecorder>> = OnceLock::new();
+static GLOBAL_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Pin the simulation thread count for every subsequent [`measure`] call
+/// (the experiments binary's `--threads` flag). Results are byte-identical
+/// at any setting — the engine shards deterministically — so this is a
+/// wall-clock knob, never a results knob. Idempotent like the recorder.
+pub fn set_threads(threads: usize) {
+    let _ = GLOBAL_THREADS.set(threads.max(1));
+}
 
 /// Install a process-wide in-memory recorder; every subsequent
 /// [`measure`] call streams its metrics and request spans into it.
@@ -28,9 +37,13 @@ pub fn install_recorder() -> Arc<MemoryRecorder> {
 /// never called (the default, costing one `is_enabled()` virtual call per
 /// instrumentation site).
 pub fn context() -> SimContext {
-    match GLOBAL_RECORDER.get() {
+    let ctx = match GLOBAL_RECORDER.get() {
         Some(r) => SimContext::recorded(r.clone()),
         None => SimContext::new(),
+    };
+    match GLOBAL_THREADS.get() {
+        Some(&t) => ctx.with_threads(t),
+        None => ctx,
     }
 }
 

@@ -24,7 +24,7 @@
 // for library code; unit tests compile under cfg(test) and stay exempt.
 #![cfg_attr(
     not(test),
-    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
 )]
 
 // The cost-model modules (Sec. III-D, Eqs. 1–8) carry the strictest

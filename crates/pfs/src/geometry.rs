@@ -115,11 +115,56 @@ impl GroupLayout {
     /// The sum of the byte counts always equals `len` (conservation — see
     /// the property tests).
     pub fn split(&self, offset: u64, len: u64) -> Vec<(usize, u64)> {
-        let mut out = Vec::with_capacity(self.widths.len());
-        for slot in 0..self.widths.len() {
+        if len == 0 {
+            return Vec::new();
+        }
+        let s = self.group_size();
+        if len >= s {
+            // The request covers at least one full group: every non-empty
+            // slot is touched, so the all-slots scan is already
+            // proportional to the output.
+            let mut out = Vec::with_capacity(self.widths.len());
+            for slot in 0..self.widths.len() {
+                let b = self.bytes_in_range(slot, offset, len);
+                if b > 0 {
+                    out.push((slot, b));
+                }
+            }
+            return out;
+        }
+        // Narrow request (< one group): it touches one contiguous arc of
+        // segments, wrapping the group boundary at most once. Binary
+        // search locates the arc so the cost is O(log slots + touched)
+        // instead of a full-slot scan — the MDS split of a single-stripe
+        // request on a 4096-server file must not walk 4096 slots.
+        let rem = offset % s;
+        let end = rem + len; // < 2S
+        let slot_of = |x: u64| self.starts.partition_point(|&b| b <= x) - 1;
+        let i0 = slot_of(rem);
+        let i1 = slot_of(end.min(s) - 1);
+        let mut out = Vec::with_capacity(i1 - i0 + 2);
+        let mut emit = |slot: usize| {
             let b = self.bytes_in_range(slot, offset, len);
             if b > 0 {
                 out.push((slot, b));
+            }
+        };
+        if end > s {
+            // Wrapped tail `[0, end - s)`; since `len < S` its last slot
+            // `j` never passes `i0`, so emitting `0..=j` first and then
+            // `max(i0, j + 1)..=i1` keeps ascending order without
+            // duplicates (a slot in both arcs aggregates both fragments
+            // in one `bytes_in_range` call).
+            let j = slot_of(end - s - 1);
+            for slot in 0..=j {
+                emit(slot);
+            }
+            for slot in i0.max(j + 1)..=i1 {
+                emit(slot);
+            }
+        } else {
+            for slot in i0..=i1 {
+                emit(slot);
             }
         }
         out

@@ -34,7 +34,7 @@
 // for library code; unit tests compile under cfg(test) and stay exempt.
 #![cfg_attr(
     not(test),
-    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
 )]
 
 pub mod cluster;
@@ -43,6 +43,7 @@ pub mod geometry;
 pub mod layout;
 pub mod report;
 pub mod request;
+pub(crate) mod shard;
 pub mod sim;
 
 pub use cluster::{ClusterConfig, ServerClass, ServerId};

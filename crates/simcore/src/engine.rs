@@ -29,11 +29,10 @@
 //! assert_eq!(engine.now(), SimNanos::from_millis(3));
 //! ```
 
+use crate::calendar::CalendarQueue;
 use crate::profiler::{Phase, PhaseProfiler};
 use crate::registry;
 use crate::time::SimNanos;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Identifier of a scheduled event, in insertion order.
 ///
@@ -41,39 +40,18 @@ use std::collections::BinaryHeap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(pub u64);
 
-struct Entry<E> {
-    at: SimNanos,
-    seq: u64,
-    event: E,
-}
-
-// BinaryHeap is a max-heap; invert the ordering for earliest-first.
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// The scheduling half of the engine, passed to event handlers.
 ///
 /// Split out from [`Engine`] so a handler can schedule new events while the
 /// engine is mid-dispatch without aliasing the queue it is draining.
+///
+/// Pending events live in a `CalendarQueue` (`crate::calendar`) — a
+/// bucketed timeline with
+/// arena-allocated payload slots — which pops in exactly the ascending
+/// `(time, insertion sequence)` order the original `BinaryHeap` engine
+/// produced, at `O(1)` per operation on the hot path.
 pub struct Scheduler<E> {
-    heap: BinaryHeap<Entry<E>>,
+    queue: CalendarQueue<E>,
     next_seq: u64,
     now: SimNanos,
     queue_hwm: usize,
@@ -82,7 +60,7 @@ pub struct Scheduler<E> {
 impl<E> Scheduler<E> {
     fn new() -> Self {
         Scheduler {
-            heap: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             next_seq: 0,
             now: SimNanos::ZERO,
             queue_hwm: 0,
@@ -102,8 +80,8 @@ impl<E> Scheduler<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
-        self.queue_hwm = self.queue_hwm.max(self.heap.len());
+        self.queue.push(at, seq, event);
+        self.queue_hwm = self.queue_hwm.max(self.queue.len());
         EventId(seq)
     }
 
@@ -122,7 +100,7 @@ impl<E> Scheduler<E> {
     /// Number of events waiting in the queue.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.queue.len()
     }
 
     /// The deepest the event queue has ever been (high-water mark).
@@ -131,8 +109,9 @@ impl<E> Scheduler<E> {
         self.queue_hwm
     }
 
+    #[inline]
     fn pop(&mut self) -> Option<(SimNanos, E)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        self.queue.pop()
     }
 }
 
@@ -192,6 +171,11 @@ impl<E> Engine<E> {
             &[],
             self.queue_depth_hwm() as f64,
         );
+        recorder.counter_add(
+            registry::SIM_QUEUE_REBUILDS.name,
+            &[],
+            self.sched.queue.rebuilds(),
+        );
     }
 
     /// Run until the queue is empty, delivering each event to `handler`.
@@ -247,9 +231,9 @@ impl<E> Engine<E> {
         F: FnMut(&mut Scheduler<E>, SimNanos, E),
     {
         loop {
-            match self.sched.heap.peek() {
+            match self.sched.queue.peek_at() {
                 None => return true,
-                Some(top) if top.at > deadline => return false,
+                Some(at) if at > deadline => return false,
                 Some(_) => {}
             }
             let Some((at, event)) = self.sched.pop() else {

@@ -25,9 +25,10 @@
 // for library code; unit tests compile under cfg(test) and stay exempt.
 #![cfg_attr(
     not(test),
-    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
 )]
 
+pub(crate) mod calendar;
 pub mod context;
 pub mod engine;
 pub mod faults;

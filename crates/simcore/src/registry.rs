@@ -104,6 +104,9 @@ metrics! {
     /// Deepest the event queue ever got.
     SIM_QUEUE_DEPTH_HWM = ("sim.queue_depth.hwm", Gauge, Count,
         "event-queue depth high-water mark");
+    /// Calendar-queue geometry retunings (bucket width / ring size).
+    SIM_QUEUE_REBUILDS = ("sim.queue.rebuilds", Counter, Count,
+        "calendar-queue bucket-geometry retunings over one run");
     /// Wall time the engine spent popping/bookkeeping events.
     SIM_PROFILE_DISPATCH_S = ("sim.profile.dispatch_s", Gauge, Seconds,
         "wall time in event-queue dispatch (pop + loop bookkeeping)");
