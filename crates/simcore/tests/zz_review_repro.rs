@@ -1,0 +1,24 @@
+//! Review repro: after an adapt() rebuild repositions `base` to the bucket
+//! of a far-future pending event, a zero-delay follow-up scheduled by the
+//! handler lands in a bucket strictly below `base`, tripping
+//! `debug_assert!(b == self.base)` in CalendarQueue::place.
+
+use harl_simcore::{Engine, SimNanos};
+
+#[test]
+fn zero_delay_after_rebuild_with_sparse_queue() {
+    let mut engine: Engine<u32> = Engine::new();
+    // One far-future outlier that is the only pending event at review time.
+    engine.schedule(SimNanos(1_000_000_000_000), 1);
+    // Chain driver: each pop schedules the next 100 ns later, so pops
+    // accumulate while the standing queue stays at exactly one event.
+    engine.schedule(SimNanos::ZERO, 0);
+    let mut hops: u64 = 0;
+    engine.run(|sched, now, ev| {
+        if ev == 0 && hops < 40_000 {
+            hops += 1;
+            sched.schedule(now + SimNanos(100), 0);
+        }
+    });
+    assert_eq!(hops, 40_000);
+}
