@@ -66,6 +66,31 @@ print("bench-planning JSON schema OK")
 PY
 rm -rf "$out"
 
+echo "== three-tier scenario golden =="
+out="$(mktemp -d)"
+cargo run --release -q -p harl-bench --bin harl-cli -- \
+    run --scenario scenarios/three_tier.json --out "$out/three_tier.json"
+if ! diff -u scenarios/three_tier.golden.json "$out/three_tier.json"; then
+    echo "three-tier scenario report diverged from scenarios/three_tier.golden.json" >&2
+    echo "(if the change is intentional, regenerate the golden with the command above)" >&2
+    exit 1
+fi
+python3 - scenarios/three_tier.golden.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["plan_cost_usd"] > 0, "three-tier plan must carry a non-zero dollar cost"
+print("three-tier report matches golden (plan_cost_usd = %.6f)" % doc["plan_cost_usd"])
+PY
+rm -rf "$out"
+
+echo "== bench-planning regression guard =="
+# Full-scale rerun of the three planning phases; fails if any phase's
+# throughput drops more than 20% below the committed BENCH_planning.json
+# baseline (or the per-phase work totals drift, meaning the baseline is
+# stale).
+cargo run --release -q -p harl-bench --bin harl-cli -- \
+    bench-planning --guard BENCH_planning.json
+
 echo "== bench-sim smoke test =="
 out="$(mktemp -d)"
 cargo run --release -q -p harl-bench --bin harl-cli -- \

@@ -41,12 +41,12 @@ pub fn abl_region(scale: &Scale) -> FigureResult {
     let policies: Vec<Box<dyn LayoutPolicy>> = vec![
         Box::new(FixedPolicy::new(64 * 1024)),
         Box::new(SegmentPolicy {
-            model: model.clone(),
+            model: model.clone().into(),
             segment_size: 64 << 20,
             optimizer: opt.clone(),
         }),
         Box::new(ServerLevelPolicy {
-            model: model.clone(),
+            model: model.clone().into(),
             optimizer: opt.clone(),
         }),
         Box::new({
@@ -76,7 +76,7 @@ pub fn abl_region(scale: &Scale) -> FigureResult {
                 o.regions
             ));
         }
-        let harl = outcomes.last().expect("harl last").throughput_mib_s;
+        let harl = outcomes.last().map_or(0.0, |o| o.throughput_mib_s);
         let server_level = outcomes[2].throughput_mib_s;
         text.push_str(&format!(
             "region-level contribution on top of server-level: {:+.1}%\n",
@@ -84,7 +84,7 @@ pub fn abl_region(scale: &Scale) -> FigureResult {
         ));
         json_parts.insert(
             op.to_string(),
-            serde_json::to_value(&outcomes).expect("serialise"),
+            serde_json::to_value(&outcomes).unwrap_or(Value::Null),
         );
     }
     json_parts.insert("figure".into(), json!("abl-region"));
@@ -436,7 +436,7 @@ pub fn abl_profiles(scale: &Scale) -> FigureResult {
 
     let layouts: Vec<(String, Vec<u64>)> = vec![
         ("fixed-64K".into(), vec![64 * 1024, 64 * 1024, 64 * 1024]),
-        ("two-class".into(), vec![pair.h, pair.s, pair.s]),
+        ("two-class".into(), vec![pair.h(), pair.s(), pair.s()]),
         ("k-profile".into(), k_widths.clone()),
     ];
 

@@ -19,6 +19,13 @@
 //! finishes; `--trace-out` additionally writes the request spans in Chrome
 //! trace-event format (load into `chrome://tracing` or Perfetto).
 
+// Bin-crate panic hygiene (ratcheted to deny in PR 8): failures exit
+// with a message, never a backtrace.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 use harl_bench::{
     abl_model, abl_multiapp, abl_profiles, abl_region, abl_step, abl_straggler, fig10, fig11,
     fig12, fig1a, fig1b, fig7, fig8, fig9, headline, install_recorder, Scale,
@@ -34,6 +41,13 @@ fn usage() -> ! {
          abl-region|abl-step|abl-model|abl-profiles|abl-straggler|abl-multiapp|all|ablations>"
     );
     std::process::exit(2);
+}
+
+/// Print an I/O error and exit with a failure status (bin-crate error
+/// handling: no panics, a clean message instead of a backtrace).
+fn die(what: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("{what}: {err}");
+    std::process::exit(1);
 }
 
 fn main() {
@@ -110,7 +124,8 @@ fn main() {
         .collect();
     }
 
-    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    std::fs::create_dir_all(&out_dir)
+        .unwrap_or_else(|e| die(&format!("cannot create {}", out_dir.display()), e));
     for target in &targets {
         let started = std::time::Instant::now();
         let result = match target.as_str() {
@@ -136,11 +151,10 @@ fn main() {
         };
         print!("{}", result.text);
         let path = out_dir.join(format!("{target}.json"));
-        std::fs::write(
-            &path,
-            serde_json::to_string_pretty(&result.json).expect("serialise"),
-        )
-        .expect("write result JSON");
+        let text = serde_json::to_string_pretty(&result.json)
+            .unwrap_or_else(|e| die("cannot serialise result JSON", e));
+        std::fs::write(&path, text)
+            .unwrap_or_else(|e| die(&format!("cannot write {}", path.display()), e));
         println!(
             "[{target}: {:.1}s, wrote {}]",
             started.elapsed().as_secs_f64(),
@@ -151,9 +165,11 @@ fn main() {
     if let Some(recorder) = recorder {
         if let Some(path) = &metrics_out {
             let file = std::fs::File::create(path)
-                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+                .unwrap_or_else(|e| die(&format!("cannot create {}", path.display()), e));
             let mut w = BufWriter::new(file);
-            recorder.write_jsonl(&mut w).expect("write metrics JSONL");
+            recorder
+                .write_jsonl(&mut w)
+                .unwrap_or_else(|e| die("cannot write metrics JSONL", e));
             println!(
                 "[metrics: {} series -> {}]",
                 recorder.series_count(),
@@ -162,11 +178,11 @@ fn main() {
         }
         if let Some(path) = &trace_out {
             let file = std::fs::File::create(path)
-                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+                .unwrap_or_else(|e| die(&format!("cannot create {}", path.display()), e));
             let mut w = BufWriter::new(file);
             recorder
                 .write_chrome_trace(&mut w)
-                .expect("write Chrome trace");
+                .unwrap_or_else(|e| die("cannot write Chrome trace", e));
             println!(
                 "[trace: {} spans -> {}]",
                 recorder.spans().len(),

@@ -11,7 +11,8 @@
 //! harl-cli simulate    <trace.jsonl> <rst.json> [--hservers M] [--sservers N]
 //!                      [--metrics-out metrics.jsonl] [--trace-out trace.json]
 //!                      [--sample-ms MS]
-//! harl-cli bench-planning [--json] [--quick] [--threads T] [--out path]
+//! harl-cli bench-planning [--json] [--quick] [--threads T] [--guard baseline.json]
+//!                      [--out path]
 //! harl-cli bench-sim   [--json] [--quick] [--guard baseline.json] [--out path]
 //! harl-cli report      <metrics.jsonl>
 //! harl-cli run --scenario scenario.json [--out report.json] [--seed S]
@@ -30,6 +31,13 @@
 //! MS simulated milliseconds (it needs `--metrics-out` or `--trace-out`
 //! to have somewhere to land). `report` renders a recorded metrics JSONL
 //! back into a per-server utilisation / queue summary.
+
+// Bin-crate panic hygiene (ratcheted to deny in PR 8): failures exit
+// with a message, never a backtrace.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 use harl_core::{
     divide_regions, size_histogram, summarize, summarize_records, CostModelParams, HarlPolicy,
@@ -53,7 +61,7 @@ fn usage() -> ! {
          harl-cli inspect <rst.json>\n  harl-cli simulate <trace.jsonl> <rst.json> \
          [--hservers M] [--sservers N] [--metrics-out metrics.jsonl] [--trace-out trace.json] \
          [--sample-ms MS]\n  \
-         harl-cli bench-planning [--json] [--quick] [--threads T] [--out path]\n  \
+         harl-cli bench-planning [--json] [--quick] [--threads T] [--guard baseline.json] [--out path]\n  \
          harl-cli bench-sim [--json] [--quick] [--guard baseline.json] [--out path]\n  \
          harl-cli report <metrics.jsonl>\n  \
          harl-cli run --scenario scenario.json [--out report.json] [--seed S] [--threads T] \
@@ -252,18 +260,24 @@ fn cmd_plan(opts: &Opts) {
 }
 
 fn print_rst(rst: &RegionStripeTable) {
+    let widths_heading = "widths (one per class)";
     println!(
-        "{:<8} {:>14} {:>14} {:>10} {:>10}",
-        "region", "offset", "length", "h", "s"
+        "{:<8} {:>14} {:>14}  {widths_heading}",
+        "region", "offset", "length"
     );
     for (i, e) in rst.entries().iter().enumerate() {
+        let widths = e
+            .widths()
+            .iter()
+            .map(|&w| format!("{:>10}", ByteSize(w).to_string()))
+            .collect::<Vec<_>>()
+            .join(" ");
         println!(
-            "{:<8} {:>14} {:>14} {:>10} {:>10}",
+            "{:<8} {:>14} {:>14}  {}",
             i,
             ByteSize(e.offset).to_string(),
             ByteSize(e.len).to_string(),
-            ByteSize(e.h).to_string(),
-            ByteSize(e.s).to_string()
+            widths
         );
     }
 }
@@ -307,7 +321,7 @@ fn record_residuals(recorder: &MemoryRecorder, model: &CostModelParams, rst: &Re
         } else {
             OpKind::Read
         };
-        let predicted = model.request_cost(offset, size, op, entry.h, entry.s);
+        let predicted = model.request_cost(offset, size, op, entry.h(), entry.s());
         let actual = span.latency_ns() as f64 / 1e9;
         let residual = actual - predicted;
         let labels = [("region", region.to_string())];
@@ -357,7 +371,10 @@ fn cmd_simulate(opts: &Opts) {
         });
         memory
             .write_jsonl(&mut BufWriter::new(file))
-            .expect("write metrics JSONL");
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write metrics JSONL: {e}");
+                std::process::exit(1);
+            });
         println!(
             "wrote {} metric series to {}",
             memory.series_count(),
@@ -371,7 +388,10 @@ fn cmd_simulate(opts: &Opts) {
         });
         memory
             .write_chrome_trace(&mut BufWriter::new(file))
-            .expect("write Chrome trace");
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write Chrome trace: {e}");
+                std::process::exit(1);
+            });
         println!("wrote {} spans to {}", memory.spans().len(), path.display());
     }
     println!(
@@ -406,9 +426,30 @@ fn cmd_simulate(opts: &Opts) {
 }
 
 fn cmd_bench_planning(opts: &Opts) {
-    use harl_bench::planning::{run_planning_bench, PlanningScale};
+    use harl_bench::planning::{run_planning_bench, run_planning_guard, PlanningScale};
     if !opts.positional.is_empty() {
         usage();
+    }
+    if let Some(path) = &opts.guard {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let baseline: serde_json::Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("baseline {} is not JSON: {e}", path.display());
+            std::process::exit(1);
+        });
+        match run_planning_guard(&baseline) {
+            Ok(lines) => {
+                print!("{lines}");
+                println!("planning throughput within budget of {}", path.display());
+            }
+            Err(msg) => {
+                eprintln!("bench-planning guard: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
     let scale = if opts.quick {
         PlanningScale::quick()
@@ -437,7 +478,10 @@ fn cmd_bench_planning(opts: &Opts) {
             .out
             .clone()
             .unwrap_or_else(|| PathBuf::from("BENCH_planning.json"));
-        let text = serde_json::to_string_pretty(&doc).expect("serialise bench doc");
+        let text = serde_json::to_string_pretty(&doc).unwrap_or_else(|e| {
+            eprintln!("cannot serialise bench doc: {e}");
+            std::process::exit(1);
+        });
         std::fs::write(&path, text + "\n").unwrap_or_else(|e| {
             eprintln!("cannot write {}: {e}", path.display());
             std::process::exit(1);
@@ -498,7 +542,10 @@ fn cmd_bench_sim(opts: &Opts) {
             .out
             .clone()
             .unwrap_or_else(|| PathBuf::from("BENCH_sim.json"));
-        let text = serde_json::to_string_pretty(&doc).expect("serialise bench doc");
+        let text = serde_json::to_string_pretty(&doc).unwrap_or_else(|e| {
+            eprintln!("cannot serialise bench doc: {e}");
+            std::process::exit(1);
+        });
         std::fs::write(&path, text + "\n").unwrap_or_else(|e| {
             eprintln!("cannot write {}: {e}", path.display());
             std::process::exit(1);
@@ -557,7 +604,10 @@ fn cmd_run(opts: &Opts) {
         });
         memory
             .write_jsonl(&mut BufWriter::new(file))
-            .expect("write metrics JSONL");
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write metrics JSONL: {e}");
+                std::process::exit(1);
+            });
         println!(
             "wrote {} metric series to {}",
             memory.series_count(),

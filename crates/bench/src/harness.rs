@@ -131,12 +131,12 @@ pub fn measure(
         workload,
         &CollectiveConfig::default(),
     );
-    let first = rst.entries()[0];
+    let first = &rst.entries()[0];
     let outcome = PolicyOutcome {
         label: policy.label(),
         throughput_mib_s: report.throughput_mib_s(),
         makespan_s: report.makespan.as_secs_f64(),
-        first_region: (first.h, first.s),
+        first_region: (first.h(), first.s()),
         regions: rst.len(),
     };
     (outcome, rst, report)
@@ -179,16 +179,15 @@ pub fn render_table(title: &str, outcomes: &[PolicyOutcome], baseline_label: &st
     out
 }
 
-/// The best outcome by throughput.
-pub fn best(outcomes: &[PolicyOutcome]) -> &PolicyOutcome {
-    outcomes
-        .iter()
-        .max_by(|a, b| {
-            a.throughput_mib_s
-                .partial_cmp(&b.throughput_mib_s)
-                .expect("throughputs are finite")
-        })
-        .expect("at least one outcome")
+/// The best outcome by throughput (`None` on an empty slice).
+pub fn best(outcomes: &[PolicyOutcome]) -> Option<&PolicyOutcome> {
+    outcomes.iter().reduce(|a, b| {
+        if b.throughput_mib_s > a.throughput_mib_s {
+            b
+        } else {
+            a
+        }
+    })
 }
 
 #[cfg(test)]
@@ -244,6 +243,6 @@ mod tests {
         assert!(table.contains("64K"));
         assert!(table.contains("HARL"));
         assert!(table.contains("+70.0%"));
-        assert_eq!(best(&outcomes).label, "HARL");
+        assert_eq!(best(&outcomes).map(|o| o.label.as_str()), Some("HARL"));
     }
 }

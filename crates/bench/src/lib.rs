@@ -12,6 +12,13 @@
 //! requests.
 
 // missing_docs / rust_2018_idioms come from [workspace.lints].
+// Bench and CLI code reports failures through exit codes and descriptive
+// messages, never through panics: PR 8 swept the crate and ratcheted the
+// unwrap/expect warns up to denies.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod ablations;
 pub mod figures;

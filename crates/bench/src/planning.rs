@@ -136,12 +136,7 @@ pub fn online_setup(
 ) -> (OnlineMonitor, Vec<TraceRecord>) {
     let region_len = 64u64 << 20;
     let entries = (0..regions as u64)
-        .map(|i| RstEntry {
-            offset: i * region_len,
-            len: region_len,
-            h: 32 * KB,
-            s: 160 * KB,
-        })
+        .map(|i| RstEntry::two(i * region_len, region_len, 32 * KB, 160 * KB))
         .collect();
     let rst = RegionStripeTable::new(entries);
     let base = OnlineConfig::default();
@@ -243,6 +238,78 @@ pub fn run_planning_bench(scale: PlanningScale, threads: usize, quick: bool) -> 
             }),
         }),
     })
+}
+
+/// Maximum tolerated planning-throughput drop versus the committed
+/// baseline: the ci.sh regression guard fails any phase measuring below
+/// 80% of `BENCH_planning.json`.
+pub const GUARD_MAX_DROP_PCT: f64 = 20.0;
+
+/// The ci.sh planning regression guard (`harl-cli bench-planning --guard`).
+///
+/// Re-runs the full-scale bench three times, keeps each phase's best
+/// wall, and compares against the committed `BENCH_planning.json`: the
+/// per-phase work totals must match exactly (a drift means the workload
+/// changed — regenerate the baseline), and each phase's throughput
+/// (candidates/s, or requests/s for the on-line phase) must stay within
+/// [`GUARD_MAX_DROP_PCT`] of the baseline. Returns one summary line per
+/// phase on success.
+pub fn run_planning_guard(baseline: &Value) -> Result<String, String> {
+    let threads = usize::try_from(baseline["threads"].as_u64().unwrap_or(1)).unwrap_or(1);
+    let runs: Vec<Value> = (0..3)
+        .map(|_| run_planning_bench(PlanningScale::full(), threads, false))
+        .collect();
+    let mut lines = String::new();
+    let mut breaches = Vec::new();
+    for phase in ["single_region", "whole_file_64", "online_replan"] {
+        let work_key = if phase == "online_replan" {
+            "requests"
+        } else {
+            "candidates"
+        };
+        let base = &baseline["phases"][phase];
+        let base_work = base[work_key].as_u64().unwrap_or(0);
+        let base_wall = base["wall_s"].as_f64().unwrap_or(0.0);
+        if base_work == 0 || base_wall <= 0.0 {
+            return Err(format!(
+                "baseline phase {phase} is missing {work_key}/wall_s; \
+                 regenerate BENCH_planning.json"
+            ));
+        }
+        let meas_work = runs[0]["phases"][phase][work_key].as_u64().unwrap_or(0);
+        if meas_work != base_work {
+            return Err(format!(
+                "{phase} now measures {meas_work} {work_key} but the baseline records \
+                 {base_work}; the workload changed — regenerate BENCH_planning.json"
+            ));
+        }
+        let best_wall = runs
+            .iter()
+            .map(|r| {
+                r["phases"][phase]["wall_s"]
+                    .as_f64()
+                    .unwrap_or(f64::INFINITY)
+            })
+            .fold(f64::INFINITY, f64::min);
+        let base_tput = base_work as f64 / base_wall;
+        let meas_tput = meas_work as f64 / best_wall.max(1e-12);
+        let drop = 100.0 * (1.0 - meas_tput / base_tput);
+        lines.push_str(&format!(
+            "{phase:<16} {meas_tput:>12.0} {work_key}/s  (baseline {base_tput:>12.0}, \
+             {drop:+.1}% drop)\n"
+        ));
+        if drop > GUARD_MAX_DROP_PCT {
+            breaches.push(format!(
+                "{phase} dropped {drop:.1}% below the baseline ({meas_tput:.0} vs \
+                 {base_tput:.0} {work_key}/s, budget {GUARD_MAX_DROP_PCT}%)"
+            ));
+        }
+    }
+    if breaches.is_empty() {
+        Ok(lines)
+    } else {
+        Err(breaches.join("; "))
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,6 @@ pub mod profile;
 pub use calibration::{calibrate_network, calibrate_storage, CalibrationConfig};
 pub use network::NetworkProfile;
 pub use profile::{
-    hdd_2015_preset, nvme_2020_preset, ssd_2015_preset, DeviceKind, OpKind, OpParams,
-    StorageProfile,
+    hdd_2015_preset, nvme_2020_preset, object_store_preset, ssd_2015_preset, CostProfile,
+    DeviceKind, OpKind, OpParams, StorageProfile,
 };

@@ -46,6 +46,9 @@ pub enum DeviceKind {
     Hdd,
     /// Flash solid-state drive ("SServer" backing device).
     Ssd,
+    /// Remote object store (high latency, high bandwidth, priced per GB
+    /// and per request) — the cost-aware third tier.
+    Object,
     /// Anything else (used by the K-profile extension experiments).
     Other,
 }
@@ -55,8 +58,62 @@ impl std::fmt::Display for DeviceKind {
         match self {
             DeviceKind::Hdd => write!(f, "HDD"),
             DeviceKind::Ssd => write!(f, "SSD"),
+            DeviceKind::Object => write!(f, "OBJECT"),
             DeviceKind::Other => write!(f, "OTHER"),
         }
+    }
+}
+
+/// Dollar cost of keeping and touching data on a device class.
+///
+/// On-prem tiers default to all-zero (their capital cost is sunk and does
+/// not vary with the layout); cloud object tiers carry a capacity price
+/// plus per-request charges, which is exactly the axis that makes the
+/// object tier a *cost* decision rather than a pure performance one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostProfile {
+    /// Capacity price in USD per GB-month.
+    pub usd_per_gb_month: f64,
+    /// Price of one read request (GET), in USD.
+    pub usd_per_get: f64,
+    /// Price of one write request (PUT), in USD.
+    pub usd_per_put: f64,
+}
+
+impl CostProfile {
+    /// The free (on-prem) cost profile.
+    pub const FREE: CostProfile = CostProfile {
+        usd_per_gb_month: 0.0,
+        usd_per_get: 0.0,
+        usd_per_put: 0.0,
+    };
+
+    /// True when every component is zero (the on-prem default).
+    pub fn is_free(&self) -> bool {
+        *self == CostProfile::FREE
+    }
+
+    /// Validate the price triple (no negative or non-finite prices).
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite price; cost profiles are
+    /// configuration, so failing loudly at construction beats silently
+    /// optimising against a nonsensical bill.
+    pub fn validated(self) -> Self {
+        for (label, v) in [
+            ("usd_per_gb_month", self.usd_per_gb_month),
+            ("usd_per_get", self.usd_per_get),
+            ("usd_per_put", self.usd_per_put),
+        ] {
+            assert!(v.is_finite() && v >= 0.0, "invalid price {label} = {v}");
+        }
+        self
+    }
+}
+
+impl Default for CostProfile {
+    fn default() -> Self {
+        CostProfile::FREE
     }
 }
 
@@ -116,7 +173,7 @@ impl OpParams {
 }
 
 /// A storage device's full performance profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct StorageProfile {
     /// Human-readable name for reports ("hdd-2015", "ssd-2015", …).
     pub name: String,
@@ -126,17 +183,44 @@ pub struct StorageProfile {
     pub read: OpParams,
     /// Write-path parameters.
     pub write: OpParams,
+    /// Dollar cost of the class (defaults to free, the on-prem case).
+    #[serde(default)]
+    pub cost: CostProfile,
+}
+
+// Hand-written so free-tier profiles keep their pre-cost JSON shape: the
+// `cost` key is emitted only when some price is non-zero, which keeps all
+// committed two-tier goldens byte-identical.
+impl serde::Serialize for StorageProfile {
+    fn serialize(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("name".to_string(), self.name.serialize());
+        map.insert("kind".to_string(), self.kind.serialize());
+        map.insert("read".to_string(), self.read.serialize());
+        map.insert("write".to_string(), self.write.serialize());
+        if !self.cost.is_free() {
+            map.insert("cost".to_string(), self.cost.serialize());
+        }
+        serde::Value::Object(map)
+    }
 }
 
 impl StorageProfile {
-    /// Build a profile, validating all parameters.
+    /// Build a free-tier profile, validating all parameters.
     pub fn new(name: impl Into<String>, kind: DeviceKind, read: OpParams, write: OpParams) -> Self {
         StorageProfile {
             name: name.into(),
             kind,
             read: read.validated(),
             write: write.validated(),
+            cost: CostProfile::FREE,
         }
+    }
+
+    /// Builder-style dollar-cost override.
+    pub fn with_cost(mut self, cost: CostProfile) -> Self {
+        self.cost = cost.validated();
+        self
     }
 
     /// The parameters for one operation kind.
@@ -218,6 +302,35 @@ pub fn ssd_2015_preset() -> StorageProfile {
     StorageProfile::new("ssd-2015", DeviceKind::Ssd, read, write)
 }
 
+/// S3-class remote object store behind a gateway server — the cost-aware
+/// third tier.
+///
+/// Performance shape: first-byte latency dominated by the request
+/// round-trip (tens of milliseconds of startup), but high sustained
+/// streaming bandwidth once flowing, so it only wins on large sequential
+/// stripes. Prices follow the standard-tier public-cloud shape:
+/// ~$0.023/GB-month capacity, $0.40 per million GETs, $5 per million PUTs.
+/// The break-even arithmetic (DESIGN.md Appendix G) falls out of these
+/// numbers: per byte the request charge is `usd_per_get / stripe`, so GET
+/// pricing punishes small stripes exactly like the latency term does.
+pub fn object_store_preset() -> StorageProfile {
+    let read = OpParams {
+        alpha_min_s: 15e-3,
+        alpha_max_s: 45e-3,
+        beta_s_per_byte: 1.0 / (750.0 * 1024.0 * 1024.0),
+    };
+    let write = OpParams {
+        alpha_min_s: 20e-3,
+        alpha_max_s: 60e-3,
+        beta_s_per_byte: 1.0 / (500.0 * 1024.0 * 1024.0),
+    };
+    StorageProfile::new("object-store", DeviceKind::Object, read, write).with_cost(CostProfile {
+        usd_per_gb_month: 0.023,
+        usd_per_get: 0.40e-6,
+        usd_per_put: 5.0e-6,
+    })
+}
+
 /// A faster third profile used by the K-profile extension experiments
 /// (the paper's future work: "extend our cost model to accommodate more
 /// than two server performance profiles").
@@ -241,10 +354,61 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for p in [hdd_2015_preset(), ssd_2015_preset(), nvme_2020_preset()] {
+        for p in [
+            hdd_2015_preset(),
+            ssd_2015_preset(),
+            nvme_2020_preset(),
+            object_store_preset(),
+        ] {
             assert!(p.read.alpha_max_s >= p.read.alpha_min_s);
             assert!(p.write.alpha_max_s >= p.write.alpha_min_s);
         }
+    }
+
+    #[test]
+    fn on_prem_presets_are_free_and_object_is_priced() {
+        assert!(hdd_2015_preset().cost.is_free());
+        assert!(ssd_2015_preset().cost.is_free());
+        assert!(nvme_2020_preset().cost.is_free());
+        let obj = object_store_preset();
+        assert!(!obj.cost.is_free());
+        assert_eq!(obj.kind, DeviceKind::Object);
+        assert!(obj.cost.usd_per_put > obj.cost.usd_per_get);
+    }
+
+    #[test]
+    fn object_store_is_high_latency_high_bandwidth() {
+        let obj = object_store_preset();
+        let ssd = ssd_2015_preset();
+        // Startup dwarfs the SSD's...
+        assert!(obj.read.alpha_min_s > 50.0 * ssd.read.alpha_max_s);
+        // ...but sustained streaming bandwidth beats it.
+        assert!(obj.read.bandwidth_mib_s() > ssd.read.bandwidth_mib_s());
+    }
+
+    #[test]
+    fn free_cost_key_is_omitted_from_json() {
+        // Two-tier goldens predate the cost axis; a free tier must
+        // serialise exactly as it did before the field existed.
+        let free = serde_json::to_string(&hdd_2015_preset()).unwrap();
+        assert!(!free.contains("cost"), "free profile leaked a cost key");
+        let priced = serde_json::to_string(&object_store_preset()).unwrap();
+        assert!(priced.contains("usd_per_gb_month"));
+        let back: StorageProfile = serde_json::from_str(&priced).unwrap();
+        assert_eq!(back.cost, object_store_preset().cost);
+        let round: StorageProfile = serde_json::from_str(&free).unwrap();
+        assert!(round.cost.is_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid price")]
+    fn negative_price_rejected() {
+        CostProfile {
+            usd_per_gb_month: -1.0,
+            usd_per_get: 0.0,
+            usd_per_put: 0.0,
+        }
+        .validated();
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //!      regions of similar workload, with threshold adaptation;
 //!    * [`model`] — the Sec. III-D cost model (Table I, Eqs. 1–8), exact
 //!      sub-request geometry plus the paper's Fig. 5 case table;
-//!    * [`optimizer`] — Algorithm 2: per-region grid search for the optimal
-//!      `(h, s)` stripe pair, parallelised and deterministic.
+//!    * [`optimizer`] — Algorithm 2: per-region search for the optimal
+//!      per-class stripe widths (exhaustive grid at `K = 2`, coordinate
+//!      descent beyond), parallelised and deterministic.
 //! 3. **Placement** ([`rst`], [`policy`]) — the Region Stripe Table and the
 //!    policies the paper evaluates (fixed, random, segment-level, HARL).
 //!
@@ -33,6 +34,7 @@
 #[warn(clippy::float_cmp, clippy::cast_possible_truncation)]
 pub mod analysis;
 pub(crate) mod cast;
+pub mod compat;
 pub mod errors;
 pub mod migration;
 #[warn(clippy::float_cmp, clippy::cast_possible_truncation)]
@@ -52,7 +54,7 @@ pub use migration::{projected_sserver_bytes, BalanceOutcome, SpaceBalancer};
 pub use model::{case_a_params, server_loads, server_loads_scan, CostModelParams, ServerLoads};
 pub use multiprofile::{ClassParams, MultiProfileModel, MultiProfileOptimizer};
 pub use online::{AdaptationEvent, OnlineConfig, OnlineMonitor};
-pub use optimizer::{optimize_region, OptimizerConfig, RegionRequests, StripeChoice};
+pub use optimizer::{optimize_region, LayoutChoice, OptimizerConfig, RegionRequests};
 pub use policy::{
     FixedPolicy, HarlPolicy, LayoutPolicy, RandomPolicy, SegmentPolicy, ServerLevelPolicy,
 };

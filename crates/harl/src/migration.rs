@@ -15,7 +15,7 @@
 //! "move data from SServers to HServers" sense.
 
 use crate::model::CostModelParams;
-use crate::optimizer::{OptimizerConfig, RegionRequests, StripeChoice};
+use crate::optimizer::{OptimizerConfig, RegionRequests};
 use crate::rst::{RegionStripeTable, RstEntry};
 use crate::trace::TraceRecord;
 use serde::{Deserialize, Serialize};
@@ -36,8 +36,17 @@ pub struct BalanceOutcome {
     pub cost_increase_frac: f64,
 }
 
+/// A constrained two-tier candidate (the balancer is inherently two-tier:
+/// it moves bytes from the SServer class to the HServer class).
+#[derive(Debug, Clone, Copy)]
+struct ConstrainedChoice {
+    h: u64,
+    s: u64,
+    cost: f64,
+}
+
 /// SServer share of one region's bytes under `(h, s)` on an (M, N) cluster.
-fn sserver_fraction(m: usize, n: usize, h: u64, s: u64) -> f64 {
+fn sserver_fraction(m: usize, h: u64, n: usize, s: u64) -> f64 {
     let total = m as u64 * h + n as u64 * s;
     if total == 0 {
         return 0.0;
@@ -49,7 +58,7 @@ fn sserver_fraction(m: usize, n: usize, h: u64, s: u64) -> f64 {
 pub fn projected_sserver_bytes(model: &CostModelParams, rst: &RegionStripeTable) -> u64 {
     rst.entries()
         .iter()
-        .map(|e| (e.len as f64 * sserver_fraction(model.m, model.n, e.h, e.s)) as u64)
+        .map(|e| (e.len as f64 * sserver_fraction(model.m(), e.h(), model.n(), e.s())) as u64)
         .sum()
 }
 
@@ -74,19 +83,19 @@ impl SpaceBalancer {
         requests: &RegionRequests<'_>,
         avg: u64,
         max_frac: f64,
-    ) -> Option<StripeChoice> {
+    ) -> Option<ConstrainedChoice> {
         let step = self.optimizer.effective_step(avg.max(1));
         let r_bar = avg.max(step).div_ceil(step) * step;
-        let mut best: Option<StripeChoice> = None;
+        let mut best: Option<ConstrainedChoice> = None;
         let mut consider = |h: u64, s: u64| {
-            if self.model.m as u64 * h + self.model.n as u64 * s == 0 {
+            if self.model.m() as u64 * h + self.model.n() as u64 * s == 0 {
                 return;
             }
-            if sserver_fraction(self.model.m, self.model.n, h, s) > max_frac + 1e-12 {
+            if sserver_fraction(self.model.m(), h, self.model.n(), s) > max_frac + 1e-12 {
                 return;
             }
             let cost = requests.cost_of(&self.model, h, s, self.optimizer.max_requests_per_eval);
-            let cand = StripeChoice { h, s, cost };
+            let cand = ConstrainedChoice { h, s, cost };
             best = Some(match best.take() {
                 None => cand,
                 Some(b)
@@ -102,14 +111,14 @@ impl SpaceBalancer {
         while h <= r_bar {
             let mut s = h + step;
             while s <= r_bar + step {
-                if self.model.n > 0 {
+                if self.model.n() > 0 {
                     consider(h, s);
                 }
                 s += step;
             }
             h += step;
         }
-        if self.model.m > 0 {
+        if self.model.m() > 0 {
             consider(r_bar, 0);
         }
         best
@@ -154,12 +163,12 @@ impl SpaceBalancer {
         while current > self.sserver_capacity {
             let mut best_idx: Option<usize> = None;
             let mut best_score = f64::NEG_INFINITY;
-            let mut best_plan: Option<(StripeChoice, f64, u64)> = None;
+            let mut best_plan: Option<(ConstrainedChoice, f64, u64)> = None;
             for (i, e) in entries.iter().enumerate() {
                 if adjusted[i] {
                     continue;
                 }
-                let cur_frac = sserver_fraction(self.model.m, self.model.n, e.h, e.s);
+                let cur_frac = sserver_fraction(self.model.m(), e.h(), self.model.n(), e.s());
                 if cur_frac == 0.0 {
                     continue;
                 }
@@ -168,14 +177,18 @@ impl SpaceBalancer {
                 let avg = if hi > lo {
                     (sorted[lo..hi].iter().map(|r| r.size).sum::<u64>() / (hi - lo) as u64).max(1)
                 } else {
-                    e.h.max(e.s)
+                    e.h().max(e.s())
                 };
-                let old_cost =
-                    reqs.cost_of(&self.model, e.h, e.s, self.optimizer.max_requests_per_eval);
+                let old_cost = reqs.cost_of(
+                    &self.model,
+                    e.h(),
+                    e.s(),
+                    self.optimizer.max_requests_per_eval,
+                );
                 let Some(plan) = self.constrained_choice(&reqs, avg, cur_frac / 2.0) else {
                     continue;
                 };
-                let new_frac = sserver_fraction(self.model.m, self.model.n, plan.h, plan.s);
+                let new_frac = sserver_fraction(self.model.m(), plan.h, self.model.n(), plan.s);
                 let reclaimed = ((cur_frac - new_frac).max(0.0) * e.len as f64) as u64;
                 if reclaimed == 0 {
                     continue;
@@ -191,8 +204,7 @@ impl SpaceBalancer {
             let (Some(i), Some((plan, old_cost, reclaimed))) = (best_idx, best_plan) else {
                 break; // nothing left to reclaim
             };
-            entries[i].h = plan.h;
-            entries[i].s = plan.s;
+            entries[i] = RstEntry::two(entries[i].offset, entries[i].len, plan.h, plan.s);
             adjusted[i] = true;
             old_cost_total += old_cost;
             new_cost_total += plan.cost;
@@ -250,9 +262,9 @@ mod tests {
 
     #[test]
     fn fraction_math() {
-        assert!((sserver_fraction(6, 2, 32 * KB, 160 * KB) - 320.0 / 512.0).abs() < 1e-12);
-        assert_eq!(sserver_fraction(6, 2, 64 * KB, 0), 0.0);
-        assert_eq!(sserver_fraction(0, 2, 0, 64 * KB), 1.0);
+        assert!((sserver_fraction(6, 32 * KB, 2, 160 * KB) - 320.0 / 512.0).abs() < 1e-12);
+        assert_eq!(sserver_fraction(6, 64 * KB, 2, 0), 0.0);
+        assert_eq!(sserver_fraction(0, 0, 2, 64 * KB), 1.0);
     }
 
     #[test]
@@ -322,18 +334,8 @@ mod tests {
             timestamp: SimNanos::ZERO,
         }));
         let rst = RegionStripeTable::new(vec![
-            RstEntry {
-                offset: 0,
-                len: boundary,
-                h: 64 * KB,
-                s: 832 * KB,
-            },
-            RstEntry {
-                offset: boundary,
-                len: 32 * 128 * KB,
-                h: 0,
-                s: 64 * KB,
-            },
+            RstEntry::two(0, boundary, 64 * KB, 832 * KB),
+            RstEntry::two(boundary, 32 * 128 * KB, 0, 64 * KB),
         ]);
         let before = projected_sserver_bytes(&m, &rst);
         let balancer = SpaceBalancer {

@@ -22,35 +22,37 @@
 //! The per-server scan is kept as [`server_loads_scan`] and the paper's
 //! case-(a) table as [`case_a_params`] so tests can confirm all three
 //! agree on their domains.
+//!
+//! The canonical model is the K-class
+//! [`MultiProfileModel`];
+//! [`CostModelParams`] is its `K = 2` view, carrying the paper's `(M, N)`
+//! vocabulary and the pair-form cost entry points (see `crate::compat`)
+//! plus the precomputed [`StartupTable`] the exhaustive grid search leans
+//! on.
 
 use crate::cast::{i64_to_u64, i64_to_usize, u64_to_i64, u64_to_usize, usize_to_i64, usize_to_u64};
+use crate::multiprofile::MultiProfileModel;
 use harl_devices::{NetworkProfile, OpKind, OpParams, StorageProfile};
 use harl_pfs::ClusterConfig;
-use serde::{Deserialize, Serialize};
 
-/// Everything the model needs about the platform (paper Table I).
+/// The two-class view of the platform model (paper Table I).
 ///
-/// Usually built from *calibrated* profiles
-/// ([`harl_devices::calibrate_storage`]) so the optimizer works from
-/// measurements, exactly as the paper's Analysis Phase does.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A thin wrapper over a `K = 2` [`MultiProfileModel`] — the widths-based
+/// API is reachable through `Deref`, while the paper's `(h, s)` pair-form
+/// cost functions live in `crate::compat` as inherent methods. Usually
+/// built from *calibrated* profiles ([`harl_devices::calibrate_storage`])
+/// so the optimizer works from measurements, exactly as the paper's
+/// Analysis Phase does.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModelParams {
-    /// Number of HServers (`M`).
-    pub m: usize,
-    /// Number of SServers (`N`).
-    pub n: usize,
-    /// Network per-byte time `t` (seconds/byte).
-    pub t_s_per_byte: f64,
-    /// HServer read parameters (`α_h`, `β_h`).
-    pub h_read: OpParams,
-    /// HServer write parameters. The paper models a single HServer profile;
-    /// carrying both directions is a strict generalisation (set them equal
-    /// to recover the paper's form).
-    pub h_write: OpParams,
-    /// SServer read parameters (`α_sr`, `β_sr`).
-    pub s_read: OpParams,
-    /// SServer write parameters (`α_sw`, `β_sw`).
-    pub s_write: OpParams,
+    pub(crate) inner: MultiProfileModel,
+}
+
+impl std::ops::Deref for CostModelParams {
+    type Target = MultiProfileModel;
+    fn deref(&self) -> &MultiProfileModel {
+        &self.inner
+    }
 }
 
 impl CostModelParams {
@@ -64,14 +66,20 @@ impl CostModelParams {
     ) -> Self {
         assert!(m + n > 0, "model needs at least one server");
         CostModelParams {
-            m,
-            n,
-            t_s_per_byte: network.t_s_per_byte,
-            h_read: hserver.read,
-            h_write: hserver.write,
-            s_read: sserver.read,
-            s_write: sserver.write,
+            inner: MultiProfileModel::new(
+                network,
+                vec![(m, hserver.clone()), (n, sserver.clone())],
+            ),
         }
+    }
+
+    /// Wrap an existing two-class model.
+    ///
+    /// # Panics
+    /// Panics unless the model has exactly two classes.
+    pub fn from_multi(inner: MultiProfileModel) -> Self {
+        assert_eq!(inner.class_count(), 2, "two-class view needs K = 2");
+        CostModelParams { inner }
     }
 
     /// Build from a two-class cluster's ground-truth profiles.
@@ -79,15 +87,9 @@ impl CostModelParams {
         assert_eq!(
             cluster.classes.len(),
             2,
-            "two-class model; use the multiprofile module for K classes"
+            "two-class model; use MultiProfileModel::from_cluster for K classes"
         );
-        CostModelParams::new(
-            cluster.classes[0].count,
-            cluster.classes[1].count,
-            &cluster.network,
-            &cluster.classes[0].profile,
-            &cluster.classes[1].profile,
-        )
+        CostModelParams::from_multi(MultiProfileModel::from_cluster(cluster))
     }
 
     /// Build from a cluster but with *measured* (calibrated) device
@@ -110,55 +112,43 @@ impl CostModelParams {
         )
     }
 
+    /// Number of HServers (`M`).
     #[inline]
-    fn h_params(&self, op: OpKind) -> &OpParams {
+    pub fn m(&self) -> usize {
+        self.inner.classes[0].count
+    }
+
+    /// Number of SServers (`N`).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.inner.classes[1].count
+    }
+
+    #[inline]
+    pub(crate) fn h_params(&self, op: OpKind) -> &OpParams {
         match op {
-            OpKind::Read => &self.h_read,
-            OpKind::Write => &self.h_write,
+            OpKind::Read => &self.inner.classes[0].read,
+            OpKind::Write => &self.inner.classes[0].write,
         }
     }
 
     #[inline]
-    fn s_params(&self, op: OpKind) -> &OpParams {
+    pub(crate) fn s_params(&self, op: OpKind) -> &OpParams {
         match op {
-            OpKind::Read => &self.s_read,
-            OpKind::Write => &self.s_write,
+            OpKind::Read => &self.inner.classes[1].read,
+            OpKind::Write => &self.inner.classes[1].write,
         }
     }
 
     /// The expected maximum of `k` i.i.d. uniform draws on
     /// `[α_min, α_max]`: `α_min + k/(k+1)·(α_max − α_min)` (Eqs. 3–4).
     #[inline]
-    fn startup_k(p: &OpParams, k: usize) -> f64 {
+    pub(crate) fn startup_k(p: &OpParams, k: usize) -> f64 {
         if k == 0 {
             0.0
         } else {
             p.alpha_min_s + (k as f64 / (k as f64 + 1.0)) * (p.alpha_max_s - p.alpha_min_s)
         }
-    }
-
-    /// Cost (seconds) of one request at region-relative `offset` of `size`
-    /// bytes under layout `(h, s)` — the paper's Eq. 7 (reads) / Eq. 8
-    /// (writes).
-    ///
-    /// Either stripe may be zero (that class holds no data); both zero
-    /// panics. Zero-size requests cost nothing.
-    pub fn request_cost(&self, offset: u64, size: u64, op: OpKind, h: u64, s: u64) -> f64 {
-        if size == 0 {
-            return 0.0;
-        }
-        let ServerLoads { s_m, m, s_n, n } = server_loads(offset, size, self.m, h, self.n, s);
-        let hp = self.h_params(op);
-        let sp = self.s_params(op);
-
-        // Eq. 1: network transfer — the slowest sub-request on the wire.
-        let t_x = (s_m.max(s_n)) as f64 * self.t_s_per_byte;
-        // Eq. 5: startup — the slower of the two classes' expected maxima.
-        let t_s = Self::startup_k(hp, m).max(Self::startup_k(sp, n));
-        // Eq. 6: storage transfer — the slowest sub-request on a device.
-        let t_t = (s_m as f64 * hp.beta_s_per_byte).max(s_n as f64 * sp.beta_s_per_byte);
-
-        t_x + t_s + t_t
     }
 
     /// Precompute the startup term `T_S` (Eq. 5) for every possible
@@ -167,49 +157,22 @@ impl CostModelParams {
     /// part of the cost — tabulating it turns two order-statistic
     /// evaluations per request into one load.
     pub fn startup_table(&self) -> StartupTable {
-        let stride = self.n + 1;
+        let (m_count, n_count) = (self.m(), self.n());
+        let stride = n_count + 1;
         let build = |hp: &OpParams, sp: &OpParams| -> Vec<f64> {
-            let mut t = Vec::with_capacity((self.m + 1) * stride);
-            for m in 0..=self.m {
-                for n in 0..=self.n {
+            let mut t = Vec::with_capacity((m_count + 1) * stride);
+            for m in 0..=m_count {
+                for n in 0..=n_count {
                     t.push(Self::startup_k(hp, m).max(Self::startup_k(sp, n)));
                 }
             }
             t
         };
         StartupTable {
-            read: build(&self.h_read, &self.s_read),
-            write: build(&self.h_write, &self.s_write),
+            read: build(self.h_params(OpKind::Read), self.s_params(OpKind::Read)),
+            write: build(self.h_params(OpKind::Write), self.s_params(OpKind::Write)),
             stride,
         }
-    }
-
-    /// [`Self::request_cost`] with the startup term served from a
-    /// precomputed [`StartupTable`] — bit-identical results (the table
-    /// holds exactly the values Eq. 5 produces), built for the optimizer's
-    /// inner loop.
-    pub fn request_cost_with(
-        &self,
-        table: &StartupTable,
-        offset: u64,
-        size: u64,
-        op: OpKind,
-        h: u64,
-        s: u64,
-    ) -> f64 {
-        if size == 0 {
-            return 0.0;
-        }
-        let ServerLoads { s_m, m, s_n, n } = server_loads(offset, size, self.m, h, self.n, s);
-        let hp = self.h_params(op);
-        let sp = self.s_params(op);
-        let t_x = (s_m.max(s_n)) as f64 * self.t_s_per_byte;
-        let t_s = match op {
-            OpKind::Read => table.read[m * table.stride + n],
-            OpKind::Write => table.write[m * table.stride + n],
-        };
-        let t_t = (s_m as f64 * hp.beta_s_per_byte).max(s_n as f64 * sp.beta_s_per_byte);
-        t_x + t_s + t_t
     }
 }
 
@@ -217,9 +180,9 @@ impl CostModelParams {
 /// counts — see [`CostModelParams::startup_table`].
 #[derive(Debug, Clone)]
 pub struct StartupTable {
-    read: Vec<f64>,
-    write: Vec<f64>,
-    stride: usize,
+    pub(crate) read: Vec<f64>,
+    pub(crate) write: Vec<f64>,
+    pub(crate) stride: usize,
 }
 
 /// The four critical parameters of the paper's case analysis.
@@ -704,8 +667,8 @@ mod tests {
     fn from_cluster_matches_manual() {
         let cluster = ClusterConfig::paper_default();
         let p = CostModelParams::from_cluster(&cluster);
-        assert_eq!(p.m, 6);
-        assert_eq!(p.n, 2);
+        assert_eq!(p.m(), 6);
+        assert_eq!(p.n(), 2);
         let q = paper_params();
         assert_eq!(p, q);
     }

@@ -104,16 +104,33 @@ impl MultiProfileModel {
     }
 
     /// Cost of one request under per-class widths (the generalised
-    /// Eqs. 7/8).
+    /// Eqs. 7/8). Allocation-free: this is the per-request hot path of the
+    /// online monitor and the coordinate-descent inner loop, so the class
+    /// loads are folded into the three cost terms as they are computed
+    /// rather than materialised (the summation order matches
+    /// [`Self::class_loads`] exactly).
     pub fn request_cost(&self, offset: u64, size: u64, op: OpKind, widths: &[u64]) -> f64 {
         if size == 0 {
             return 0.0;
         }
-        let loads = self.class_loads(offset, size, widths);
+        assert_eq!(widths.len(), self.classes.len(), "one width per class");
+        let group: u64 = self
+            .classes
+            .iter()
+            .zip(widths)
+            .map(|(c, &w)| c.count as u64 * w)
+            .sum();
+        assert!(group > 0, "layout has no capacity");
+        let end = offset + size;
+        let dq = end / group - offset / group;
+        let (r_o, r_e) = (offset % group, end % group);
         let mut t_x: f64 = 0.0;
         let mut t_s: f64 = 0.0;
         let mut t_t: f64 = 0.0;
-        for (c, &(load, touched)) in self.classes.iter().zip(&loads) {
+        let mut base = 0u64;
+        for (c, &w) in self.classes.iter().zip(widths) {
+            let (load, touched) = crate::model::class_span_loads(dq, r_o, r_e, base, w, c.count);
+            base += c.count as u64 * w;
             let p = match op {
                 OpKind::Read => &c.read,
                 OpKind::Write => &c.write,
@@ -132,21 +149,24 @@ impl MultiProfileModel {
 impl From<&CostModelParams> for MultiProfileModel {
     /// The two-class model as a K = 2 instance.
     fn from(p: &CostModelParams) -> Self {
-        MultiProfileModel {
-            classes: vec![
-                ClassParams {
-                    count: p.m,
-                    read: p.h_read,
-                    write: p.h_write,
-                },
-                ClassParams {
-                    count: p.n,
-                    read: p.s_read,
-                    write: p.s_write,
-                },
-            ],
-            t_s_per_byte: p.t_s_per_byte,
-        }
+        p.inner.clone()
+    }
+}
+
+impl From<CostModelParams> for MultiProfileModel {
+    /// Unwrap the two-class view (no copy).
+    fn from(p: CostModelParams) -> Self {
+        p.inner
+    }
+}
+
+impl From<MultiProfileModel> for CostModelParams {
+    /// The two-class view of a `K = 2` model.
+    ///
+    /// # Panics
+    /// Panics unless the model has exactly two classes.
+    fn from(m: MultiProfileModel) -> Self {
+        CostModelParams::from_multi(m)
     }
 }
 

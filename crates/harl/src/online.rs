@@ -9,12 +9,12 @@
 //! observed average request size against the size the plan was optimised
 //! for. Sustained drift (several consecutive windows beyond a ratio
 //! threshold) triggers a re-plan of that region on the window's requests,
-//! and the monitor reports an [`AdaptationEvent`] with the new stripe pair
-//! plus the estimated migration bill (the region's bytes must be
+//! and the monitor reports an [`AdaptationEvent`] with the new per-class
+//! widths plus the estimated migration bill (the region's bytes must be
 //! re-striped) so a policy layer can decide whether the remaining horizon
 //! amortises it.
 
-use crate::model::CostModelParams;
+use crate::multiprofile::MultiProfileModel;
 use crate::optimizer::{OptimizerConfig, RegionRequests};
 use crate::rst::RegionStripeTable;
 use crate::trace::TraceRecord;
@@ -61,10 +61,10 @@ impl Default for OnlineConfig {
 pub struct AdaptationEvent {
     /// Index of the drifted region in the RST.
     pub region: usize,
-    /// The stripe pair the region currently uses.
-    pub old: (u64, u64),
-    /// The re-planned stripe pair.
-    pub new: (u64, u64),
+    /// The per-class widths the region currently uses.
+    pub old: Vec<u64>,
+    /// The re-planned per-class widths.
+    pub new: Vec<u64>,
     /// Observed average request size that triggered the re-plan.
     pub observed_avg: u64,
     /// Request size the region was planned for.
@@ -115,7 +115,7 @@ impl RegionState {
 /// enabling model-drift detection); it returns adaptation events as drift
 /// is confirmed.
 pub struct OnlineMonitor {
-    model: CostModelParams,
+    model: MultiProfileModel,
     rst: RegionStripeTable,
     /// The per-region average request size the current plan assumed.
     planned_avg: Vec<u64>,
@@ -145,11 +145,12 @@ impl OnlineMonitor {
     /// optimised for (from Algorithm 1's `A_reg`); if unknown, pass the
     /// observed averages of the original trace.
     pub fn new(
-        model: CostModelParams,
+        model: impl Into<MultiProfileModel>,
         rst: RegionStripeTable,
         planned_avg: Vec<u64>,
         cfg: OnlineConfig,
     ) -> Self {
+        let model = model.into();
         assert_eq!(
             planned_avg.len(),
             rst.len(),
@@ -201,7 +202,7 @@ impl OnlineMonitor {
     ///
     /// On top of [`observe`](Self::observe)'s size-drift tracking, this
     /// compares the served latency against the Sec. III-D cost model's
-    /// prediction for the region's current `(h, s)` pair. The signed
+    /// prediction for the region's current widths. The signed
     /// residual `actual − predicted` feeds a per-region drift statistic: a
     /// window whose mean residual magnitude exceeds
     /// `residual_ratio × mean predicted cost` counts as drifted even when
@@ -209,14 +210,15 @@ impl OnlineMonitor {
     /// (device slowdown, contention) that size statistics cannot see.
     pub fn observe_served(&mut self, rec: TraceRecord, actual_s: f64) -> Vec<AdaptationEvent> {
         let region = self.rst.region_of(rec.offset);
-        let entry = self.rst.entries()[region];
-        let predicted = self.model.request_cost(
-            rec.offset.saturating_sub(entry.offset),
-            rec.size,
-            rec.op,
-            entry.h,
-            entry.s,
-        );
+        let predicted = {
+            let entry = &self.rst.entries()[region];
+            self.model.request_cost(
+                rec.offset.saturating_sub(entry.offset),
+                rec.size,
+                rec.op,
+                entry.widths(),
+            )
+        };
         let residual = actual_s - predicted;
         {
             let state = &mut self.regions[region];
@@ -295,7 +297,7 @@ impl OnlineMonitor {
             }
             // Confirmed drift: queue this region for re-planning on the
             // observed stream.
-            let entry = self.rst.entries()[region];
+            let entry = self.rst.entries()[region].clone();
             let requests = std::mem::take(&mut state.window_requests);
             state.reset_window();
             state.drifted_windows = 0;
@@ -333,17 +335,17 @@ impl OnlineMonitor {
                 &inner,
                 job.region,
             );
-            // Predicted per-request saving under the new pair.
+            // Predicted per-request saving under the new widths.
             let old_cost =
-                reqs.cost_of(model, job.entry.h, job.entry.s, inner.max_requests_per_eval);
-            let new_cost = reqs.cost_of(model, choice.h, choice.s, inner.max_requests_per_eval);
+                reqs.cost_of_widths(model, job.entry.widths(), inner.max_requests_per_eval);
+            let new_cost = reqs.cost_of_widths(model, &choice.widths, inner.max_requests_per_eval);
             (choice, old_cost, new_cost)
         });
 
         // Pass 3 (sequential, region order): adopt the new layouts.
         let mut events = Vec::new();
         for (job, (choice, old_cost, new_cost)) in jobs.iter().zip(outcomes) {
-            if (choice.h, choice.s) == (job.entry.h, job.entry.s) {
+            if choice.widths.as_slice() == job.entry.widths() {
                 // Same layout still optimal; just update expectations.
                 self.planned_avg[job.region] = job.observed_avg;
                 continue;
@@ -351,18 +353,15 @@ impl OnlineMonitor {
             let n = job.sorted.len().max(1) as f64;
             let event = AdaptationEvent {
                 region: job.region,
-                old: (job.entry.h, job.entry.s),
-                new: (choice.h, choice.s),
+                old: job.entry.widths().to_vec(),
+                new: choice.widths.clone(),
                 observed_avg: job.observed_avg,
                 planned_avg: job.planned,
                 migration_bytes: job.entry.len,
                 saving_per_request_s: (old_cost - new_cost).max(0.0) / n,
             };
             // Adopt the new layout in the active table.
-            let mut entries = self.rst.entries().to_vec();
-            entries[job.region].h = choice.h;
-            entries[job.region].s = choice.s;
-            self.rst = RegionStripeTable::new(entries);
+            self.rst.set_region_widths(job.region, choice.widths);
             self.planned_avg[job.region] = job.observed_avg;
             if self.ctx.recorder().is_enabled() {
                 self.ctx.recorder().counter_add(
@@ -386,8 +385,8 @@ mod tests {
 
     const KB: u64 = 1024;
 
-    fn model() -> CostModelParams {
-        CostModelParams::from_cluster(&ClusterConfig::paper_default())
+    fn model() -> crate::model::CostModelParams {
+        crate::model::CostModelParams::from_cluster(&ClusterConfig::paper_default())
     }
 
     fn monitor(planned_size: u64) -> OnlineMonitor {
@@ -435,13 +434,13 @@ mod tests {
         }
         assert_eq!(events.len(), 1, "exactly one adaptation expected");
         let e = &events[0];
-        assert_eq!(e.old, (32 * KB, 160 * KB));
-        assert_eq!(e.new, (0, 64 * KB));
+        assert_eq!(e.old, vec![32 * KB, 160 * KB]);
+        assert_eq!(e.new, vec![0, 64 * KB]);
         assert_eq!(e.planned_avg, 512 * KB);
         assert!(e.saving_per_request_s > 0.0);
-        // The active table now carries the new pair.
-        let entry = m.current_rst().entries()[0];
-        assert_eq!((entry.h, entry.s), (0, 64 * KB));
+        // The active table now carries the new widths.
+        let entry = &m.current_rst().entries()[0];
+        assert_eq!((entry.h(), entry.s()), (0, 64 * KB));
     }
 
     #[test]
@@ -471,8 +470,8 @@ mod tests {
     fn break_even_math() {
         let e = AdaptationEvent {
             region: 0,
-            old: (32 * KB, 160 * KB),
-            new: (0, 64 * KB),
+            old: vec![32 * KB, 160 * KB],
+            new: vec![0, 64 * KB],
             observed_avg: 128 * KB,
             planned_avg: 512 * KB,
             migration_bytes: 1 << 30,
@@ -491,18 +490,8 @@ mod tests {
     #[test]
     fn multi_region_monitor_targets_the_drifted_region() {
         let rst = crate::rst::RegionStripeTable::new(vec![
-            crate::rst::RstEntry {
-                offset: 0,
-                len: 512 << 20,
-                h: 32 * KB,
-                s: 160 * KB,
-            },
-            crate::rst::RstEntry {
-                offset: 512 << 20,
-                len: 512 << 20,
-                h: 32 * KB,
-                s: 160 * KB,
-            },
+            crate::rst::RstEntry::two(0, 512 << 20, 32 * KB, 160 * KB),
+            crate::rst::RstEntry::two(512 << 20, 512 << 20, 32 * KB, 160 * KB),
         ]);
         let mut m = OnlineMonitor::new(
             model(),
@@ -526,8 +515,8 @@ mod tests {
             "only region 1 drifted"
         );
         let entries = m.current_rst().entries();
-        assert_eq!((entries[0].h, entries[0].s), (32 * KB, 160 * KB));
-        assert_eq!((entries[1].h, entries[1].s), (0, 64 * KB));
+        assert_eq!((entries[0].h(), entries[0].s()), (32 * KB, 160 * KB));
+        assert_eq!((entries[1].h(), entries[1].s()), (0, 64 * KB));
     }
 
     #[test]
@@ -537,18 +526,8 @@ mod tests {
         // the single-threaded run exactly.
         let run = |threads: usize| {
             let rst = crate::rst::RegionStripeTable::new(vec![
-                crate::rst::RstEntry {
-                    offset: 0,
-                    len: 512 << 20,
-                    h: 32 * KB,
-                    s: 160 * KB,
-                },
-                crate::rst::RstEntry {
-                    offset: 512 << 20,
-                    len: 512 << 20,
-                    h: 32 * KB,
-                    s: 160 * KB,
-                },
+                crate::rst::RstEntry::two(0, 512 << 20, 32 * KB, 160 * KB),
+                crate::rst::RstEntry::two(512 << 20, 512 << 20, 32 * KB, 160 * KB),
             ]);
             let mut cfg = OnlineConfig {
                 window: 64,
@@ -597,8 +576,8 @@ mod tests {
             events.extend(m.observe_served(rec((i * 128 * KB) % (1 << 30), 128 * KB), 0.5));
         }
         assert!(!events.is_empty(), "model drift should force a re-plan");
-        assert_eq!(events[0].old, (32 * KB, 160 * KB));
-        assert_eq!(events[0].new, (0, 64 * KB));
+        assert_eq!(events[0].old, vec![32 * KB, 160 * KB]);
+        assert_eq!(events[0].new, vec![0, 64 * KB]);
         let labels = [("region", "0".to_string())];
         assert!(recorder.counter_value(registry::HARL_ONLINE_ADAPTATIONS.name, &labels) >= 1);
         let summary = recorder

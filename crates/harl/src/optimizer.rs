@@ -1,4 +1,11 @@
-//! Region stripe-size determination — the paper's Algorithm 2.
+//! Region stripe-size determination — the paper's Algorithm 2, for any
+//! class count.
+//!
+//! [`optimize_region`] dispatches on the model's class count: `K = 2` runs
+//! the paper's exhaustive grid below (bit-identical to the original
+//! two-tier optimizer); `K ≥ 3` runs the deterministic coordinate descent
+//! of [`crate::multiprofile::MultiProfileOptimizer`] under the same
+//! configuration. The rest of this doc describes the `K = 2` grid.
 //!
 //! For each region, grid-search the stripe pair `(h, s)` in `step` (4 KiB)
 //! increments, summing the cost-model prediction over the region's
@@ -44,6 +51,7 @@
 
 use crate::cast::{u64_to_usize, usize_to_u64};
 use crate::model::CostModelParams;
+use crate::multiprofile::{MultiProfileModel, MultiProfileOptimizer};
 use crate::trace::TraceRecord;
 use harl_simcore::{registry, SimContext};
 use serde::{Deserialize, Serialize};
@@ -88,15 +96,43 @@ impl OptimizerConfig {
     }
 }
 
-/// The chosen stripe pair for one region, with its predicted cost.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct StripeChoice {
-    /// HServer stripe size (may be 0: SServers only).
-    pub h: u64,
-    /// SServer stripe size (may be 0: HServers only).
-    pub s: u64,
+/// The chosen per-class stripe widths for one region, with the predicted
+/// cost — what [`optimize_region`] returns for any class count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayoutChoice {
+    /// Stripe width per server class, in `ClusterConfig::classes` order.
+    pub widths: Vec<u64>,
     /// Summed model cost of the (sampled) region requests, seconds.
     pub cost: f64,
+}
+
+impl LayoutChoice {
+    /// Stripe width of one class (0 past the vector's end).
+    #[inline]
+    pub fn width(&self, class: usize) -> u64 {
+        self.widths.get(class).copied().unwrap_or(0)
+    }
+
+    /// HServer stripe size — `widths[0]` (two-tier reporting shorthand).
+    #[inline]
+    pub fn h(&self) -> u64 {
+        self.width(0)
+    }
+
+    /// SServer stripe size — `widths[1]` (two-tier reporting shorthand).
+    #[inline]
+    pub fn s(&self) -> u64 {
+        self.width(1)
+    }
+}
+
+/// A grid candidate of the `K = 2` exhaustive search (internal; the public
+/// result type is [`LayoutChoice`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StripeChoice {
+    h: u64,
+    s: u64,
+    cost: f64,
 }
 
 /// A borrowed view of a region's requests with offsets made
@@ -116,15 +152,19 @@ impl<'a> RegionRequests<'a> {
         }
     }
 
-    /// Model cost of this region under a given `(h, s)` pair, summed over
-    /// the (sampled) requests — exposed for baseline policies that search a
-    /// restricted candidate set.
-    pub fn cost_of(&self, model: &CostModelParams, h: u64, s: u64, cap: usize) -> f64 {
-        region_cost(model, &self.sample(cap), h, s)
+    /// Model cost of this region under per-class widths, summed over the
+    /// (sampled) requests — exposed for baseline policies that search a
+    /// restricted candidate set. (The two-tier pair form `cost_of` lives
+    /// in `crate::compat`.)
+    pub fn cost_of_widths(&self, model: &MultiProfileModel, widths: &[u64], cap: usize) -> f64 {
+        self.sample(cap)
+            .iter()
+            .map(|&(o, r, op)| model.request_cost(o, r, op, widths))
+            .sum()
     }
 
     /// Deterministic stride sample of at most `cap` requests.
-    fn sample(&self, cap: usize) -> Vec<(u64, u64, harl_devices::OpKind)> {
+    pub(crate) fn sample(&self, cap: usize) -> Vec<(u64, u64, harl_devices::OpKind)> {
         let n = self.records.len();
         let stride = n.div_ceil(cap.max(1)).max(1);
         self.records
@@ -133,20 +173,6 @@ impl<'a> RegionRequests<'a> {
             .map(|r| (r.offset.saturating_sub(self.region_offset), r.size, r.op))
             .collect()
     }
-}
-
-/// Sum of model costs over the sampled requests for one `(h, s)` pair.
-#[inline]
-fn region_cost(
-    model: &CostModelParams,
-    sample: &[(u64, u64, harl_devices::OpKind)],
-    h: u64,
-    s: u64,
-) -> f64 {
-    sample
-        .iter()
-        .map(|&(o, r, op)| model.request_cost(o, r, op, h, s))
-        .sum()
 }
 
 /// Candidate `(h, s)` pairs for a given `R̄`, per Algorithm 2's loops plus
@@ -181,26 +207,33 @@ fn candidates(avg: u64, step: u64, m: usize, n: usize) -> Vec<(u64, u64)> {
     out
 }
 
-/// Run Algorithm 2 for one region.
+/// Run Algorithm 2 for one region — the single layout-planning entry
+/// point, dispatching on the model's class count.
 ///
-/// `avg_request_size` is the region's `R̄` from Algorithm 1. Returns the
-/// cheapest pair; ties break to the largest `(h, s)` (see `pick_better`).
+/// * `K = 2` — the paper's exhaustive `(h, s)` grid, bit-identical to the
+///   pre-generalisation optimizer (fig7-golden-guarded): ties break to the
+///   largest `(h, s)` (see `pick_better`).
+/// * `K ≥ 3` — deterministic coordinate descent
+///   ([`MultiProfileOptimizer`]), sharing the step / grid-point / sample
+///   budget of the same [`OptimizerConfig`].
+///
+/// `avg_request_size` is the region's `R̄` from Algorithm 1.
 ///
 /// When the context's recorder is enabled, the search additionally records
-/// the grid size searched, the winning pair and its predicted cost under
-/// the `region` label (`harl.optimizer.*`). The per-request predicted cost
-/// (`harl.model.predicted_request_cost_s`) is the "predicted" side of the
-/// model-drift residual tracked by [`crate::online::OnlineMonitor`].
-/// Callers that plan a single region (baseline policies, benches) pass
-/// `region = 0`.
+/// the winning widths and their predicted cost under the `region` label
+/// (`harl.optimizer.*`; at `K = 2` the grid size too). The per-request
+/// predicted cost (`harl.model.predicted_request_cost_s`) is the
+/// "predicted" side of the model-drift residual tracked by
+/// [`crate::online::OnlineMonitor`]. Callers that plan a single region
+/// (baseline policies, benches) pass `region = 0`.
 pub fn optimize_region(
     ctx: &SimContext,
-    model: &CostModelParams,
+    model: &MultiProfileModel,
     requests: &RegionRequests<'_>,
     avg_request_size: u64,
     cfg: &OptimizerConfig,
     region: usize,
-) -> StripeChoice {
+) -> LayoutChoice {
     let recorder = ctx.recorder();
     if !recorder.is_enabled() {
         return optimize_region_sampled(model, requests, avg_request_size, cfg).0;
@@ -209,22 +242,40 @@ pub fn optimize_region(
     let (choice, sampled) = optimize_region_sampled(model, requests, avg_request_size, cfg);
     let wall = start.elapsed();
     let labels = [("region", region.to_string())];
-    let step = cfg.effective_step(avg_request_size.max(1));
-    recorder.counter_add(
-        registry::HARL_OPTIMIZER_CANDIDATES.name,
-        &labels,
-        usize_to_u64(candidates(avg_request_size, step, model.m, model.n).len()),
-    );
-    recorder.gauge_set(
-        registry::HARL_OPTIMIZER_STRIPE_H.name,
-        &labels,
-        choice.h as f64,
-    );
-    recorder.gauge_set(
-        registry::HARL_OPTIMIZER_STRIPE_S.name,
-        &labels,
-        choice.s as f64,
-    );
+    if model.class_count() == 2 {
+        let step = cfg.effective_step(avg_request_size.max(1));
+        recorder.counter_add(
+            registry::HARL_OPTIMIZER_CANDIDATES.name,
+            &labels,
+            usize_to_u64(
+                candidates(
+                    avg_request_size,
+                    step,
+                    model.classes[0].count,
+                    model.classes[1].count,
+                )
+                .len(),
+            ),
+        );
+        recorder.gauge_set(
+            registry::HARL_OPTIMIZER_STRIPE_H.name,
+            &labels,
+            choice.h() as f64,
+        );
+        recorder.gauge_set(
+            registry::HARL_OPTIMIZER_STRIPE_S.name,
+            &labels,
+            choice.s() as f64,
+        );
+    } else {
+        for (class, &w) in choice.widths.iter().enumerate() {
+            recorder.gauge_set(
+                registry::HARL_OPTIMIZER_STRIPE_WIDTH.name,
+                &[("region", region.to_string()), ("class", class.to_string())],
+                w as f64,
+            );
+        }
+    }
     recorder.observe_f64(
         registry::HARL_OPTIMIZER_PREDICTED_COST_S.name,
         &labels,
@@ -249,15 +300,28 @@ pub fn optimize_region(
 /// sampled, so callers that need the count (e.g. for per-request metrics)
 /// don't have to re-materialise the sample.
 fn optimize_region_sampled(
-    model: &CostModelParams,
+    model: &MultiProfileModel,
     requests: &RegionRequests<'_>,
     avg_request_size: u64,
     cfg: &OptimizerConfig,
-) -> (StripeChoice, usize) {
+) -> (LayoutChoice, usize) {
     assert!(cfg.step > 0, "grid step must be positive");
+    if model.class_count() != 2 {
+        let sample = requests.sample(cfg.max_requests_per_eval);
+        let sampled = sample.len();
+        let opt = MultiProfileOptimizer {
+            model: model.clone(),
+            step: cfg.step,
+            max_grid_points: cfg.max_grid_points,
+            max_sweeps: 16,
+        };
+        let (widths, cost) = opt.optimize(&sample, avg_request_size);
+        return (LayoutChoice { widths, cost }, sampled);
+    }
+    let pair = CostModelParams::from_multi(model.clone());
     let step = cfg.effective_step(avg_request_size.max(1));
     let sample = requests.sample(cfg.max_requests_per_eval);
-    let cands = candidates(avg_request_size, step, model.m, model.n);
+    let cands = candidates(avg_request_size, step, pair.m(), pair.n());
     assert!(
         !cands.is_empty(),
         "no stripe candidates (cluster has no servers?)"
@@ -267,9 +331,11 @@ fn optimize_region_sampled(
     if sample.is_empty() {
         let w = avg_request_size.max(step).div_ceil(step) * step;
         return (
-            StripeChoice {
-                h: if model.m > 0 { w } else { 0 },
-                s: if model.n > 0 { w } else { 0 },
+            LayoutChoice {
+                widths: vec![
+                    if pair.m() > 0 { w } else { 0 },
+                    if pair.n() > 0 { w } else { 0 },
+                ],
                 cost: 0.0,
             },
             0,
@@ -278,15 +344,16 @@ fn optimize_region_sampled(
 
     let threads = cfg.threads.max(1).min(cands.len());
     let best = if threads == 1 {
-        best_of(model, &sample, &cands)
+        best_of(&pair, &sample, &cands)
     } else {
         let chunk = cands.len().div_ceil(threads);
         let mut results: Vec<Option<StripeChoice>> = vec![None; threads];
         std::thread::scope(|scope| {
             for (slot, part) in results.iter_mut().zip(cands.chunks(chunk)) {
                 let sample = &sample;
+                let pair = &pair;
                 scope.spawn(move || {
-                    *slot = Some(best_of(model, sample, part));
+                    *slot = Some(best_of(pair, sample, part));
                 });
             }
         });
@@ -302,7 +369,13 @@ fn optimize_region_sampled(
             pick_better,
         )
     };
-    (best, sample.len())
+    (
+        LayoutChoice {
+            widths: vec![best.h, best.s],
+            cost: best.cost,
+        },
+        sample.len(),
+    )
 }
 
 /// A maximal strided run of the sample: `count` requests of one `size`
@@ -371,7 +444,7 @@ fn best_of(
     let runs = strided_runs(sample);
     let startup = model.startup_table();
     'cands: for &(h, s) in cands {
-        let group = usize_to_u64(model.m) * h + usize_to_u64(model.n) * s;
+        let group = usize_to_u64(model.m()) * h + usize_to_u64(model.n()) * s;
         let mut cost = 0.0;
         for run in &runs {
             let d = run.d % group;
@@ -507,16 +580,16 @@ mod tests {
         };
         let choice = optimize_region(&SimContext::new(), &m, &reqs, 512 * KB, &cfg, 0);
         assert!(
-            choice.h > 0 && choice.h <= 64 * KB,
+            choice.h() > 0 && choice.h() <= 64 * KB,
             "h = {} out of expected band",
-            choice.h
+            choice.h()
         );
         assert!(
-            choice.s >= 96 * KB,
+            choice.s() >= 96 * KB,
             "s = {} should be far larger than h",
-            choice.s
+            choice.s()
         );
-        assert!(choice.s > choice.h);
+        assert!(choice.s() > choice.h());
     }
 
     #[test]
@@ -533,8 +606,8 @@ mod tests {
             &OptimizerConfig::default(),
             0,
         );
-        assert_eq!(choice.h, 0, "expected SServer-only, got {choice:?}");
-        assert_eq!(choice.s, 64 * KB);
+        assert_eq!(choice.h(), 0, "expected SServer-only, got {choice:?}");
+        assert_eq!(choice.s(), 64 * KB);
     }
 
     #[test]
@@ -561,8 +634,8 @@ mod tests {
         // SServer writes are slower, so the write optimum shifts load back
         // toward HServers (s_w <= s_r) — as in the paper ({36K,148K} vs
         // {32K,160K}).
-        assert!(w.s <= r.s, "write s {} vs read s {}", w.s, r.s);
-        assert!(w.h >= r.h, "write h {} vs read h {}", w.h, r.h);
+        assert!(w.s() <= r.s(), "write s {} vs read s {}", w.s(), r.s());
+        assert!(w.h() >= r.h(), "write h {} vs read h {}", w.h(), r.h());
     }
 
     #[test]
@@ -590,9 +663,7 @@ mod tests {
             &OptimizerConfig { threads: 8, ..base },
             0,
         );
-        assert_eq!(c1.h, c8.h);
-        assert_eq!(c1.s, c8.s);
-        assert_eq!(c1.cost, c8.cost);
+        assert_eq!(c1, c8);
     }
 
     #[test]
@@ -610,8 +681,11 @@ mod tests {
         };
         let choice = optimize_region(&SimContext::new(), &m, &reqs, 64 * KB, &cfg, 0);
         let sample: Vec<_> = trace.iter().map(|r| (r.offset, r.size, r.op)).collect();
-        for (h, s) in candidates(64 * KB, 16 * KB, m.m, m.n) {
-            let c = region_cost(&m, &sample, h, s);
+        for (h, s) in candidates(64 * KB, 16 * KB, m.m(), m.n()) {
+            let c: f64 = sample
+                .iter()
+                .map(|&(o, r, op)| m.request_cost(o, r, op, h, s))
+                .sum();
             assert!(
                 c >= choice.cost - 1e-15,
                 "candidate ({h},{s}) cost {c} beats chosen {}",
@@ -648,7 +722,7 @@ mod tests {
             &OptimizerConfig::default(),
             0,
         );
-        assert_eq!((a.h, a.s), (b.h, b.s));
+        assert_eq!(a.widths, b.widths);
         assert!((a.cost - b.cost).abs() < 1e-12);
     }
 
@@ -664,8 +738,7 @@ mod tests {
             &OptimizerConfig::default(),
             0,
         );
-        assert_eq!(choice.h, 128 * KB);
-        assert_eq!(choice.s, 128 * KB);
+        assert_eq!(choice.widths, vec![128 * KB, 128 * KB]);
         assert_eq!(choice.cost, 0.0);
     }
 
@@ -686,7 +759,7 @@ mod tests {
         };
         let a = optimize_region(&SimContext::new(), &m, &reqs, 512 * KB, &full, 0);
         let b = optimize_region(&SimContext::new(), &m, &reqs, 512 * KB, &sampled, 0);
-        assert_eq!((a.h, a.s), (b.h, b.s), "uniform workload: same optimum");
+        assert_eq!(a.widths, b.widths, "uniform workload: same optimum");
     }
 
     #[test]
@@ -744,7 +817,7 @@ mod tests {
             &OptimizerConfig::default(),
             0,
         );
-        assert!(choice.h > 0);
+        assert!(choice.h() > 0);
         assert!(choice.cost.is_finite());
     }
 }

@@ -2,20 +2,22 @@
 //!
 //! A policy turns `(trace, file size, platform model)` into a
 //! [`RegionStripeTable`] — the complete description of how the logical file
-//! is laid out. Implemented policies:
+//! is laid out. Policies are class-count generic: each one plans per-class
+//! stripe widths in `ClusterConfig::classes` order (the paper's two-tier
+//! `(h, s)` pair is the `K = 2` case). Implemented policies:
 //!
 //! * [`FixedPolicy`] — the traditional scheme: one region, identical stripe
 //!   size on every server ("64K" etc. in the paper's figures).
 //! * [`RandomPolicy`] — the paper's "randomly-chosen stripe" strategy: a
-//!   seeded random `(h, s)` pair from the grid.
+//!   seeded random width per class from the grid.
 //! * [`SegmentPolicy`] — the segment-level baseline of \[10\]: fixed-size
 //!   regions, per-region *uniform* stripe chosen by the cost model
 //!   (workload-aware but heterogeneity-blind).
 //! * [`HarlPolicy`] — the paper's contribution: Algorithm 1 region
-//!   division + Algorithm 2 per-region `(h, s)` optimisation + RST merge.
+//!   division + Algorithm 2 per-region width optimisation + RST merge.
 
-use crate::model::CostModelParams;
-use crate::optimizer::{optimize_region, OptimizerConfig, RegionRequests, StripeChoice};
+use crate::multiprofile::MultiProfileModel;
+use crate::optimizer::{optimize_region, OptimizerConfig, RegionRequests};
 use crate::region::{divide_regions, RegionDivisionConfig};
 use crate::rst::{RegionStripeTable, RstEntry};
 use crate::trace::Trace;
@@ -40,19 +42,27 @@ pub trait LayoutPolicy {
 pub struct FixedPolicy {
     /// The stripe size used on every server.
     pub stripe: u64,
+    /// Number of server classes the table spans.
+    pub classes: usize,
 }
 
 impl FixedPolicy {
-    /// A fixed layout with the given stripe.
+    /// A two-tier fixed layout with the given stripe.
     pub fn new(stripe: u64) -> Self {
+        FixedPolicy::uniform(stripe, 2)
+    }
+
+    /// A fixed layout with the given stripe across `classes` classes.
+    pub fn uniform(stripe: u64, classes: usize) -> Self {
         assert!(stripe > 0, "fixed stripe must be positive");
-        FixedPolicy { stripe }
+        assert!(classes > 0, "fixed layout needs at least one class");
+        FixedPolicy { stripe, classes }
     }
 }
 
 impl LayoutPolicy for FixedPolicy {
     fn plan(&self, _ctx: &SimContext, _trace: &Trace, file_size: u64) -> RegionStripeTable {
-        RegionStripeTable::single(file_size, self.stripe, self.stripe)
+        RegionStripeTable::uniform(file_size, vec![self.stripe; self.classes])
     }
 
     fn label(&self) -> String {
@@ -62,8 +72,10 @@ impl LayoutPolicy for FixedPolicy {
 
 /// Randomly chosen stripe sizes (the paper's second baseline).
 ///
-/// Draws `h` and `s` independently from the 4 KiB grid within
-/// `[min_stripe, max_stripe]`, deterministic per seed.
+/// Draws one width per class independently from the 4 KiB grid within
+/// `[min_stripe, max_stripe]`, deterministic per seed. At `K = 2` the
+/// draw order is `h` then `s`, matching the original two-tier policy
+/// bit for bit.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RandomPolicy {
     /// RNG seed (different seeds give the figures' "random#i" variants).
@@ -74,39 +86,62 @@ pub struct RandomPolicy {
     pub max_stripe: u64,
     /// Grid step for the draw.
     pub step: u64,
+    /// Number of server classes to draw widths for.
+    pub classes: usize,
 }
 
 impl RandomPolicy {
-    /// A random policy over the paper's stripe range (16 KiB – 2 MiB).
+    /// A two-tier random policy over the paper's stripe range
+    /// (16 KiB – 2 MiB).
     pub fn new(seed: u64) -> Self {
+        RandomPolicy::for_classes(seed, 2)
+    }
+
+    /// A random policy drawing one width per class.
+    pub fn for_classes(seed: u64, classes: usize) -> Self {
+        assert!(classes > 0, "random layout needs at least one class");
         RandomPolicy {
             seed,
             min_stripe: 16 * 1024,
             max_stripe: 2 * 1024 * 1024,
             step: 4 * 1024,
+            classes,
         }
     }
 
-    /// The pair this policy draws (exposed for reporting).
-    pub fn draw(&self) -> (u64, u64) {
+    /// The widths this policy draws (exposed for reporting).
+    pub fn draw_widths(&self) -> Vec<u64> {
         let mut rng = SimRng::derived(self.seed, "random-policy");
         let lo = self.min_stripe / self.step;
         let hi = self.max_stripe / self.step;
-        let h = rng.uniform_u64(lo, hi) * self.step;
-        let s = rng.uniform_u64(lo, hi) * self.step;
-        (h, s)
+        (0..self.classes)
+            .map(|_| rng.uniform_u64(lo, hi) * self.step)
+            .collect()
+    }
+
+    /// The two-tier pair this policy draws — `draw_widths()` truncated to
+    /// the first two classes (reporting shorthand).
+    pub fn draw(&self) -> (u64, u64) {
+        let w = self.draw_widths();
+        (
+            w.first().copied().unwrap_or(0),
+            w.get(1).copied().unwrap_or(0),
+        )
     }
 }
 
 impl LayoutPolicy for RandomPolicy {
     fn plan(&self, _ctx: &SimContext, _trace: &Trace, file_size: u64) -> RegionStripeTable {
-        let (h, s) = self.draw();
-        RegionStripeTable::single(file_size, h, s)
+        RegionStripeTable::uniform(file_size, self.draw_widths())
     }
 
     fn label(&self) -> String {
-        let (h, s) = self.draw();
-        format!("rand{}K-{}K", h / 1024, s / 1024)
+        let parts: Vec<String> = self
+            .draw_widths()
+            .iter()
+            .map(|w| format!("{}K", w / 1024))
+            .collect();
+        format!("rand{}", parts.join("-"))
     }
 }
 
@@ -115,8 +150,8 @@ impl LayoutPolicy for RandomPolicy {
 /// servers as identical.
 #[derive(Debug, Clone)]
 pub struct SegmentPolicy {
-    /// Platform model (used with `h == s` candidates only).
-    pub model: CostModelParams,
+    /// Platform model (used with uniform-width candidates only).
+    pub model: MultiProfileModel,
     /// Segment (region) size, e.g. 64 MiB.
     pub segment_size: u64,
     /// Grid configuration.
@@ -126,6 +161,7 @@ pub struct SegmentPolicy {
 impl LayoutPolicy for SegmentPolicy {
     fn plan(&self, _ctx: &SimContext, trace: &Trace, file_size: u64) -> RegionStripeTable {
         let sorted = trace.sorted_by_offset();
+        let classes = self.model.class_count();
         let mut entries = Vec::new();
         let mut offset = 0u64;
         while offset < file_size {
@@ -139,39 +175,24 @@ impl LayoutPolicy for SegmentPolicy {
             } else {
                 (segment.iter().map(|r| r.size).sum::<u64>() / segment.len() as u64).max(1)
             };
-            // Uniform-stripe search: h == s over the grid.
+            // Uniform-stripe search: the same width on every class.
             let step = self.optimizer.step;
             let r_bar = avg.max(step).div_ceil(step) * step;
             let reqs = RegionRequests::new(segment, offset);
-            let sample_cfg = OptimizerConfig {
-                threads: 1,
-                ..self.optimizer.clone()
-            };
-            let mut best: Option<StripeChoice> = None;
+            let cap = self.optimizer.max_requests_per_eval;
+            let mut best: Option<(u64, f64)> = None;
             for k in (step..=r_bar).step_by(step as usize) {
-                // Reuse optimize_region's cost path via a single candidate:
-                // cheaper to inline the cost sum here.
-                let cost = segment_cost(&self.model, &reqs, k, &sample_cfg);
-                let cand = StripeChoice { h: k, s: k, cost };
+                let cost = reqs.cost_of_widths(&self.model, &vec![k; classes], cap);
                 best = Some(match best {
-                    None => cand,
-                    Some(b) if cand.cost < b.cost => cand,
+                    None => (k, cost),
+                    Some(b) if cost < b.1 => (k, cost),
                     Some(b) => b,
                 });
             }
             // `step..=r_bar` holds at least `step` (r_bar >= step), so the
             // grid always yields a candidate; the fallback is unreachable.
-            let choice = best.unwrap_or(StripeChoice {
-                h: step,
-                s: step,
-                cost: 0.0,
-            });
-            entries.push(RstEntry {
-                offset,
-                len,
-                h: choice.h,
-                s: choice.s,
-            });
+            let (stripe, _) = best.unwrap_or((step, 0.0));
+            entries.push(RstEntry::new(offset, len, vec![stripe; classes]));
             offset += len;
         }
         let mut table = RegionStripeTable::new(entries);
@@ -184,34 +205,23 @@ impl LayoutPolicy for SegmentPolicy {
     }
 }
 
-fn segment_cost(
-    model: &CostModelParams,
-    reqs: &RegionRequests<'_>,
-    stripe: u64,
-    cfg: &OptimizerConfig,
-) -> f64 {
-    // Delegate to the optimizer's sampling by evaluating the one candidate.
-    // optimize_region would also scan other pairs, so sum costs directly.
-    reqs.cost_of(model, stripe, stripe, cfg.max_requests_per_eval)
-}
-
-/// Server-level adaptive baseline \[22\]: one `(h, s)` pair for the *whole
+/// Server-level adaptive baseline \[22\]: one width vector for the *whole
 /// file* — heterogeneity-aware but blind to workload changes along the
 /// file. Equivalent to HARL with a single region; the gap between the two
 /// is exactly what region-level adaptation buys (the abl-region ablation).
 #[derive(Debug, Clone)]
 pub struct ServerLevelPolicy {
     /// Platform model.
-    pub model: CostModelParams,
+    pub model: MultiProfileModel,
     /// Grid configuration.
     pub optimizer: OptimizerConfig,
 }
 
 impl ServerLevelPolicy {
     /// Server-level policy with default optimizer settings.
-    pub fn new(model: CostModelParams) -> Self {
+    pub fn new(model: impl Into<MultiProfileModel>) -> Self {
         ServerLevelPolicy {
-            model,
+            model: model.into(),
             optimizer: OptimizerConfig::default(),
         }
     }
@@ -231,7 +241,7 @@ impl LayoutPolicy for ServerLevelPolicy {
             ..self.optimizer.clone()
         };
         let choice = optimize_region(ctx, &self.model, &reqs, avg, &cfg, 0);
-        RegionStripeTable::single(file_size, choice.h, choice.s)
+        RegionStripeTable::uniform(file_size, choice.widths)
     }
 
     fn label(&self) -> String {
@@ -243,8 +253,8 @@ impl LayoutPolicy for ServerLevelPolicy {
 #[derive(Debug, Clone)]
 pub struct HarlPolicy {
     /// Platform model (ideally calibrated — see
-    /// [`CostModelParams::from_cluster_calibrated`]).
-    pub model: CostModelParams,
+    /// [`crate::model::CostModelParams::from_cluster_calibrated`]).
+    pub model: MultiProfileModel,
     /// Region-division tuning (Algorithm 1).
     pub division: RegionDivisionConfig,
     /// Grid-search tuning (Algorithm 2).
@@ -253,9 +263,9 @@ pub struct HarlPolicy {
 
 impl HarlPolicy {
     /// HARL with default tuning for the given model.
-    pub fn new(model: CostModelParams) -> Self {
+    pub fn new(model: impl Into<MultiProfileModel>) -> Self {
         HarlPolicy {
-            model,
+            model: model.into(),
             division: RegionDivisionConfig::default(),
             optimizer: OptimizerConfig::default(),
         }
@@ -285,12 +295,7 @@ impl LayoutPolicy for HarlPolicy {
             let reqs = RegionRequests::new(records, region.offset);
             let choice =
                 optimize_region(ctx, &self.model, &reqs, region.avg_request_size, &inner, i);
-            RstEntry {
-                offset: region.offset,
-                len: region.len(),
-                h: choice.h,
-                s: choice.s,
-            }
+            RstEntry::new(region.offset, region.len(), choice.widths)
         });
         let mut table = RegionStripeTable::new(entries);
         table.merge_adjacent();
@@ -305,6 +310,7 @@ impl LayoutPolicy for HarlPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::CostModelParams;
     use crate::trace::TraceRecord;
     use harl_devices::OpKind;
     use harl_pfs::ClusterConfig;
@@ -337,9 +343,16 @@ mod tests {
         let t = uniform_trace(8, 512 * KB, OpKind::Read);
         let rst = FixedPolicy::new(64 * KB).plan(&SimContext::new(), &t, 16 * MB);
         assert_eq!(rst.len(), 1);
-        assert_eq!(rst.entries()[0].h, 64 * KB);
-        assert_eq!(rst.entries()[0].s, 64 * KB);
+        assert_eq!(rst.entries()[0].h(), 64 * KB);
+        assert_eq!(rst.entries()[0].s(), 64 * KB);
         assert_eq!(FixedPolicy::new(64 * KB).label(), "64K");
+    }
+
+    #[test]
+    fn fixed_policy_spans_any_class_count() {
+        let t = Trace::new();
+        let rst = FixedPolicy::uniform(64 * KB, 3).plan(&SimContext::new(), &t, 16 * MB);
+        assert_eq!(rst.entries()[0].widths(), &[64 * KB, 64 * KB, 64 * KB]);
     }
 
     #[test]
@@ -350,7 +363,7 @@ mod tests {
         assert_eq!(a, b);
         let c = RandomPolicy::new(8).plan(&SimContext::new(), &t, MB);
         assert!(
-            a.entries()[0].h != c.entries()[0].h || a.entries()[0].s != c.entries()[0].s,
+            a.entries()[0].h() != c.entries()[0].h() || a.entries()[0].s() != c.entries()[0].s(),
             "different seeds should (almost surely) differ"
         );
     }
@@ -367,13 +380,25 @@ mod tests {
     }
 
     #[test]
+    fn random_policy_widths_prefix_matches_two_tier_draw() {
+        // A K-class draw starts with the exact same RNG sequence as the
+        // two-tier draw: existing seeds keep their (h, s) pair.
+        for seed in 0..20 {
+            let (h, s) = RandomPolicy::new(seed).draw();
+            let w = RandomPolicy::for_classes(seed, 3).draw_widths();
+            assert_eq!((w[0], w[1]), (h, s), "seed {seed}");
+            assert!((16 * KB..=2 * MB).contains(&w[2]));
+        }
+    }
+
+    #[test]
     fn harl_uniform_workload_yields_one_region() {
         let t = uniform_trace(128, 512 * KB, OpKind::Read);
         let policy = HarlPolicy::new(model());
         let rst = policy.plan(&SimContext::new(), &t, 128 * 512 * KB);
         assert_eq!(rst.len(), 1, "uniform workload should merge to 1 region");
-        let e = rst.entries()[0];
-        assert!(e.s > e.h, "SServers must get the larger stripe");
+        let e = &rst.entries()[0];
+        assert!(e.s() > e.h(), "SServers must get the larger stripe");
     }
 
     #[test]
@@ -408,10 +433,10 @@ mod tests {
         assert!(rst.len() >= 2, "expected per-phase regions, got {rst:?}");
         // The small-request phase should leans toward SServers more than
         // the large-request phase (smaller or zero h).
-        let first = rst.entries()[0];
-        let last = *rst.entries().last().unwrap();
+        let first = &rst.entries()[0];
+        let last = rst.entries().last().unwrap();
         assert!(
-            first.h < last.h || first.s < last.s,
+            first.h() < last.h() || first.s() < last.s(),
             "phases should get different layouts: {first:?} vs {last:?}"
         );
     }
@@ -466,11 +491,11 @@ mod tests {
         let t = uniform_trace(64, 512 * KB, OpKind::Read);
         let file_size = 64 * 512 * KB;
         let harl = HarlPolicy::new(m.clone()).plan(&SimContext::new(), &t, file_size);
-        let he = harl.entries()[0];
+        let he = &harl.entries()[0];
         let sorted = t.sorted_by_offset();
         let harl_cost: f64 = sorted
             .iter()
-            .map(|r| m.request_cost(r.offset, r.size, r.op, he.h, he.s))
+            .map(|r| m.request_cost(r.offset, r.size, r.op, he.h(), he.s()))
             .sum();
         for stripe in [16 * KB, 64 * KB, 256 * KB, MB] {
             let fixed_cost: f64 = sorted
@@ -488,7 +513,7 @@ mod tests {
     fn segment_policy_uniform_stripes() {
         let t = uniform_trace(64, 512 * KB, OpKind::Read);
         let policy = SegmentPolicy {
-            model: model(),
+            model: model().into(),
             segment_size: 8 * MB,
             optimizer: OptimizerConfig {
                 threads: 1,
@@ -497,7 +522,7 @@ mod tests {
         };
         let rst = policy.plan(&SimContext::new(), &t, 32 * MB);
         for e in rst.entries() {
-            assert_eq!(e.h, e.s, "segment-level layout is heterogeneity-blind");
+            assert_eq!(e.h(), e.s(), "segment-level layout is heterogeneity-blind");
         }
         assert_eq!(rst.file_size(), 32 * MB);
     }
@@ -531,15 +556,15 @@ mod tests {
             ServerLevelPolicy::new(model()).plan(&SimContext::new(), &trace, boundary + 32 * MB);
         // One region for the whole file, but stripes differ per class.
         assert_eq!(rst.len(), 1);
-        let e = rst.entries()[0];
-        assert!(e.s > e.h, "server-level must still favour SServers");
+        let e = &rst.entries()[0];
+        assert!(e.s() > e.h(), "server-level must still favour SServers");
     }
 
     #[test]
     fn labels() {
         assert_eq!(HarlPolicy::new(model()).label(), "HARL");
         let seg = SegmentPolicy {
-            model: model(),
+            model: model().into(),
             segment_size: 64 * MB,
             optimizer: OptimizerConfig::default(),
         };

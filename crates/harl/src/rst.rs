@@ -1,9 +1,14 @@
 //! The Region Stripe Table (RST) — paper Sec. III-E, Fig. 6.
 //!
-//! The RST records, per file region, the optimal stripe sizes on HServers
-//! and SServers. It is consulted by the metadata server during placement
-//! and by the middleware to route each request to its region's physical
-//! file. Two paper behaviours are implemented:
+//! The RST records, per file region, the optimal stripe width on *each
+//! server class* of the cluster (`widths[k]` is the stripe size on class
+//! `k`, in `ClusterConfig::classes` order). The paper's two-tier layout is
+//! the `K = 2` special case — `widths[0]` is the HServer stripe size and
+//! `widths[1]` the SServer stripe size — and serialises in the legacy
+//! `(h, s)` form so tables written by older builds load unchanged. It is
+//! consulted by the metadata server during placement and by the middleware
+//! to route each request to its region's physical file. Two paper
+//! behaviours are implemented:
 //!
 //! * *"if adjacent regions have the same optimal stripe sizes, the two
 //!   regions are combined into a larger region"* — [`RegionStripeTable::merge_adjacent`];
@@ -15,26 +20,102 @@ use crate::errors::LoadError;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
-/// One row of the RST (paper Fig. 6: region #, file offset, HServer stripe
-/// size, SServer stripe size — plus the region length, which Fig. 6 leaves
+/// One row of the RST (paper Fig. 6: region #, file offset, one stripe
+/// size per server class — plus the region length, which Fig. 6 leaves
 /// implicit in the next row's offset).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Rows are constructed through [`RstEntry::new`] (or the legacy two-tier
+/// [`RstEntry::two`](crate::compat)); the widths vector is not directly
+/// assignable so every row goes through the same shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RstEntry {
     /// First byte of the region in the logical file.
     pub offset: u64,
     /// Region length in bytes.
     pub len: u64,
-    /// HServer stripe size (0 ⇒ region stored on SServers only).
-    pub h: u64,
-    /// SServer stripe size (0 ⇒ region stored on HServers only).
-    pub s: u64,
+    /// Per-class stripe sizes (0 ⇒ the class holds none of this region).
+    widths: Vec<u64>,
 }
 
 impl RstEntry {
+    /// Build a row from per-class stripe widths.
+    pub fn new(offset: u64, len: u64, widths: Vec<u64>) -> Self {
+        RstEntry {
+            offset,
+            len,
+            widths,
+        }
+    }
+
     /// One past the last byte of the region.
     #[inline]
     pub fn end(&self) -> u64 {
         self.offset + self.len
+    }
+
+    /// Stripe width per server class, in `ClusterConfig::classes` order.
+    #[inline]
+    pub fn widths(&self) -> &[u64] {
+        &self.widths
+    }
+
+    /// Stripe width of one class (0 for classes past the row's tier count,
+    /// so a two-tier row reads as zero on a hypothetical third class).
+    #[inline]
+    pub fn width(&self, class: usize) -> u64 {
+        self.widths.get(class).copied().unwrap_or(0)
+    }
+
+    /// Number of server classes this row stripes over.
+    #[inline]
+    pub fn classes(&self) -> usize {
+        self.widths.len()
+    }
+}
+
+// Hand-written serde: the two-class row keeps the paper-era `(h, s)` JSON
+// shape byte-for-byte (committed goldens and on-disk tables predate the
+// widths vector); any other class count serialises the widths array.
+impl Serialize for RstEntry {
+    fn serialize(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("offset".to_string(), self.offset.serialize());
+        map.insert("len".to_string(), self.len.serialize());
+        if let [h, s] = self.widths.as_slice() {
+            map.insert("h".to_string(), h.serialize());
+            map.insert("s".to_string(), s.serialize());
+        } else {
+            map.insert("widths".to_string(), self.widths.serialize());
+        }
+        serde::Value::Object(map)
+    }
+}
+
+impl Deserialize for RstEntry {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("object", "RstEntry"))?;
+        let field = |name: &str| -> Result<u64, serde::Error> {
+            map.get(name)
+                .ok_or_else(|| serde::Error::missing_field(name, "RstEntry"))?
+                .as_u64()
+                .ok_or_else(|| serde::Error::expected("unsigned integer", "RstEntry"))
+        };
+        let offset = field("offset")?;
+        let len = field("len")?;
+        let widths = match map.get("widths") {
+            Some(w) => {
+                if map.contains_key("h") || map.contains_key("s") {
+                    return Err(serde::Error::custom(
+                        "RST row mixes `widths` with legacy `h`/`s` keys",
+                    ));
+                }
+                Vec::<u64>::deserialize(w)?
+            }
+            None => vec![field("h")?, field("s")?],
+        };
+        Ok(RstEntry::new(offset, len, widths))
     }
 }
 
@@ -49,7 +130,8 @@ impl RegionStripeTable {
     ///
     /// # Panics
     /// Panics if entries are empty, unsorted, overlapping, gapped, not
-    /// starting at 0, or any entry has `h == 0 && s == 0` or zero length.
+    /// starting at 0, or any entry has all-zero widths, zero length, or a
+    /// class count differing from row 0's.
     // Documented-precondition panic, allowlisted in lint.allow.toml:
     // fallible callers (tables read from disk) use try_new/load_from_path.
     #[allow(clippy::panic)]
@@ -69,14 +151,21 @@ impl RegionStripeTable {
                 entries[0].offset
             ));
         }
+        let classes = entries[0].classes();
         for (i, e) in entries.iter().enumerate() {
             if e.len == 0 {
                 return Err(format!("zero-length RST region at {} (row {i})", e.offset));
             }
-            if e.h == 0 && e.s == 0 {
+            if e.widths.iter().all(|&w| w == 0) {
                 return Err(format!(
                     "RST region at {} (row {i}) has no capacity",
                     e.offset
+                ));
+            }
+            if e.classes() != classes {
+                return Err(format!(
+                    "RST rows disagree on class count: row {i} has {} classes but row 0 has {classes}",
+                    e.classes()
                 ));
             }
         }
@@ -95,13 +184,8 @@ impl RegionStripeTable {
 
     /// A single-region table covering `[0, file_size)` — what a
     /// traditional fixed-stripe layout looks like in RST form.
-    pub fn single(file_size: u64, h: u64, s: u64) -> Self {
-        RegionStripeTable::new(vec![RstEntry {
-            offset: 0,
-            len: file_size,
-            h,
-            s,
-        }])
+    pub fn uniform(file_size: u64, widths: Vec<u64>) -> Self {
+        RegionStripeTable::new(vec![RstEntry::new(0, file_size, widths)])
     }
 
     /// The rows.
@@ -120,9 +204,36 @@ impl RegionStripeTable {
         self.entries.is_empty()
     }
 
+    /// Number of server classes every row stripes over.
+    pub fn classes(&self) -> usize {
+        self.entries.first().map_or(0, RstEntry::classes)
+    }
+
     /// Total bytes covered.
     pub fn file_size(&self) -> u64 {
         self.entries.last().map_or(0, |e| e.end())
+    }
+
+    /// Replace one row's widths in place (re-plan adoption). The region
+    /// geometry (offset/len) is untouched, so the tiling stays valid.
+    ///
+    /// # Panics
+    /// Panics if the new widths are all zero or change the class count —
+    /// the same invariants [`try_new`](Self::try_new) enforces.
+    // Documented-precondition panic, same contract as new().
+    #[allow(clippy::panic)]
+    pub fn set_region_widths(&mut self, region: usize, widths: Vec<u64>) {
+        if widths.iter().all(|&w| w == 0) {
+            panic!("RST region at row {region} would have no capacity");
+        }
+        if widths.len() != self.classes() {
+            panic!(
+                "RST rows disagree on class count: row {region} would have {} classes but the table has {}",
+                widths.len(),
+                self.classes()
+            );
+        }
+        self.entries[region].widths = widths;
     }
 
     /// Index of the region containing `offset`.
@@ -172,20 +283,22 @@ impl RegionStripeTable {
         out
     }
 
-    /// Approximate metadata footprint of the table: one row of four u64
-    /// fields per region (the paper's Fig. 6 structure). Algorithm 1's
+    /// Approximate metadata footprint of the table: one row of
+    /// `2 + classes` u64 fields per region (offset, length, one width per
+    /// class — the paper's Fig. 6 structure at `K = 2`). Algorithm 1's
     /// threshold adaptation exists precisely to bound this (Sec. III-C:
     /// "substantial extra metadata management overhead").
     pub fn metadata_bytes(&self) -> u64 {
-        (self.entries.len() * 4 * std::mem::size_of::<u64>()) as u64
+        (self.entries.len() * (2 + self.classes()) * std::mem::size_of::<u64>()) as u64
     }
 
-    /// Merge adjacent regions with identical `(h, s)` (paper Sec. III-E).
+    /// Merge adjacent regions with identical stripe widths (paper
+    /// Sec. III-E).
     pub fn merge_adjacent(&mut self) {
         let mut merged: Vec<RstEntry> = Vec::with_capacity(self.entries.len());
         for e in self.entries.drain(..) {
             match merged.last_mut() {
-                Some(prev) if prev.h == e.h && prev.s == e.s => {
+                Some(prev) if prev.widths == e.widths => {
                     prev.len += e.len;
                 }
                 _ => merged.push(e),
@@ -219,24 +332,9 @@ mod tests {
     fn table() -> RegionStripeTable {
         // The example of paper Fig. 6 (lengths inferred from offsets).
         RegionStripeTable::new(vec![
-            RstEntry {
-                offset: 0,
-                len: 128 << 20,
-                h: 16 * 1024,
-                s: 64 * 1024,
-            },
-            RstEntry {
-                offset: 128 << 20,
-                len: 64 << 20,
-                h: 36 * 1024,
-                s: 144 * 1024,
-            },
-            RstEntry {
-                offset: 192 << 20,
-                len: 64 << 20,
-                h: 26 * 1024,
-                s: 80 * 1024,
-            },
+            RstEntry::two(0, 128 << 20, 16 * 1024, 64 * 1024),
+            RstEntry::two(128 << 20, 64 << 20, 36 * 1024, 144 * 1024),
+            RstEntry::two(192 << 20, 64 << 20, 26 * 1024, 80 * 1024),
         ])
     }
 
@@ -281,24 +379,9 @@ mod tests {
     #[test]
     fn merge_adjacent_same_stripes() {
         let mut t = RegionStripeTable::new(vec![
-            RstEntry {
-                offset: 0,
-                len: 100,
-                h: 4,
-                s: 8,
-            },
-            RstEntry {
-                offset: 100,
-                len: 50,
-                h: 4,
-                s: 8,
-            },
-            RstEntry {
-                offset: 150,
-                len: 50,
-                h: 16,
-                s: 8,
-            },
+            RstEntry::two(0, 100, 4, 8),
+            RstEntry::two(100, 50, 4, 8),
+            RstEntry::two(150, 50, 16, 8),
         ]);
         t.merge_adjacent();
         assert_eq!(t.len(), 2);
@@ -319,30 +402,38 @@ mod tests {
     #[should_panic(expected = "tile contiguously")]
     fn gaps_rejected() {
         RegionStripeTable::new(vec![
-            RstEntry {
-                offset: 0,
-                len: 10,
-                h: 1,
-                s: 1,
-            },
-            RstEntry {
-                offset: 20,
-                len: 10,
-                h: 1,
-                s: 1,
-            },
+            RstEntry::two(0, 10, 1, 1),
+            RstEntry::two(20, 10, 1, 1),
         ]);
     }
 
     #[test]
     #[should_panic(expected = "no capacity")]
     fn zero_capacity_region_rejected() {
-        RegionStripeTable::new(vec![RstEntry {
-            offset: 0,
-            len: 10,
-            h: 0,
-            s: 0,
-        }]);
+        RegionStripeTable::new(vec![RstEntry::two(0, 10, 0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on class count")]
+    fn mixed_class_counts_rejected() {
+        RegionStripeTable::new(vec![
+            RstEntry::two(0, 10, 1, 1),
+            RstEntry::new(10, 10, vec![1, 1, 1]),
+        ]);
+    }
+
+    #[test]
+    fn set_region_widths_replaces_in_place() {
+        let mut t = table();
+        t.set_region_widths(1, vec![40 * 1024, 160 * 1024]);
+        assert_eq!(t.entries()[1].widths(), &[40 * 1024, 160 * 1024]);
+        assert_eq!(t.entries()[1].offset, 128 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "no capacity")]
+    fn set_region_widths_rejects_zero() {
+        table().set_region_widths(0, vec![0, 0]);
     }
 
     #[test]
@@ -355,6 +446,42 @@ mod tests {
         let back = RegionStripeTable::load_from_path(&path).unwrap();
         assert_eq!(t, back);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn two_class_rows_keep_legacy_json_shape() {
+        // The exact key set and order the pre-widths builds wrote: tables
+        // and goldens on disk must stay byte-identical.
+        let e = RstEntry::two(0, 1024, 4, 8);
+        let json = serde_json::to_string(&e).unwrap();
+        assert_eq!(json, r#"{"offset":0,"len":1024,"h":4,"s":8}"#);
+        let back: RstEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn three_class_rows_round_trip_widths_form() {
+        let e = RstEntry::new(0, 1024, vec![4, 8, 16]);
+        let json = serde_json::to_string(&e).unwrap();
+        assert_eq!(json, r#"{"offset":0,"len":1024,"widths":[4,8,16]}"#);
+        let back: RstEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn legacy_and_widths_forms_deserialise_identically() {
+        let legacy: RstEntry =
+            serde_json::from_str(r#"{"offset":0,"len":64,"h":4,"s":8}"#).unwrap();
+        let vector: RstEntry =
+            serde_json::from_str(r#"{"offset":0,"len":64,"widths":[4,8]}"#).unwrap();
+        assert_eq!(legacy, vector);
+    }
+
+    #[test]
+    fn mixed_form_row_rejected() {
+        let err = serde_json::from_str::<RstEntry>(r#"{"offset":0,"len":64,"h":4,"widths":[4,8]}"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("mixes"), "{err}");
     }
 
     #[test]
@@ -377,20 +504,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("rst-gapped.json");
         let gapped = RegionStripeTable {
-            entries: vec![
-                RstEntry {
-                    offset: 0,
-                    len: 10,
-                    h: 1,
-                    s: 1,
-                },
-                RstEntry {
-                    offset: 20,
-                    len: 10,
-                    h: 1,
-                    s: 1,
-                },
-            ],
+            entries: vec![RstEntry::two(0, 10, 1, 1), RstEntry::two(20, 10, 1, 1)],
         };
         std::fs::write(&path, serde_json::to_string_pretty(&gapped).unwrap()).unwrap();
         let err = RegionStripeTable::load_from_path(&path).unwrap_err();
@@ -408,10 +522,13 @@ mod tests {
     }
 
     #[test]
-    fn metadata_scales_with_regions() {
+    fn metadata_scales_with_regions_and_classes() {
         let t = table();
         assert_eq!(t.metadata_bytes(), 3 * 32);
         assert_eq!(RegionStripeTable::single(1024, 4, 8).metadata_bytes(), 32);
+        // A third tier widens every row by one u64.
+        let three = RegionStripeTable::uniform(1024, vec![4, 8, 16]);
+        assert_eq!(three.metadata_bytes(), 40);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! division invariants hold for adversarial inputs.
 
 use harl_core::{
-    optimize_region, server_loads, server_loads_scan, CostModelParams, OptimizerConfig,
-    RegionRequests, TraceRecord,
+    optimize_region, server_loads, server_loads_scan, CostModelParams, MultiProfileModel,
+    MultiProfileOptimizer, OptimizerConfig, RegionRequests, TraceRecord,
 };
 use harl_devices::OpKind;
 use harl_pfs::ClusterConfig;
@@ -65,7 +65,7 @@ proptest! {
                 prop_assert!(
                     cost >= choice.cost - 1e-12,
                     "candidate ({h}, {s}) cost {cost} beats chosen ({}, {}) cost {}",
-                    choice.h, choice.s, choice.cost
+                    choice.h(), choice.s(), choice.cost
                 );
                 s += step;
             }
@@ -76,6 +76,55 @@ proptest! {
             .map(|r| m.request_cost(r.offset, r.size, r.op, r_bar, 0))
             .sum();
         prop_assert!(cost >= choice.cost - 1e-12);
+    }
+
+    /// On a two-class cluster, the K-class coordinate descent and the
+    /// paper's exhaustive K=2 grid agree: for arbitrary small workloads
+    /// the descent cost lands within 5% of the grid minimum (it can stop
+    /// at a nearby local optimum but never drifts), and the widths-form
+    /// cost of the grid's own choice is bitwise the pair-form cost.
+    #[test]
+    fn descent_agrees_with_grid_on_two_classes(records in small_workload()) {
+        let m = model();
+        let avg = (records.iter().map(|r| r.size).sum::<u64>()
+            / records.len() as u64).max(1);
+        let cfg = OptimizerConfig {
+            step: 32 * 1024,
+            max_grid_points: 64,
+            max_requests_per_eval: records.len(),
+            threads: 1,
+        };
+        let reqs = RegionRequests::new(&records, 0);
+        let choice = optimize_region(&SimContext::new(), &m, &reqs, avg, &cfg, 0);
+
+        // Bitwise pair/widths agreement at the chosen point (tentpole
+        // bit-identity: the widths form is the same arithmetic).
+        let multi = MultiProfileModel::from(&m);
+        for r in &records {
+            let pair = m.request_cost(r.offset, r.size, r.op, choice.h(), choice.s());
+            let widths = multi.request_cost(r.offset, r.size, r.op, &[choice.h(), choice.s()]);
+            prop_assert_eq!(pair.to_bits(), widths.to_bits(),
+                "pair {pair} vs widths {widths} at ({}, {})", choice.h(), choice.s());
+        }
+
+        let mut opt = MultiProfileOptimizer::new(multi);
+        opt.step = cfg.step;
+        opt.max_grid_points = cfg.max_grid_points;
+        let sample: Vec<(u64, u64, OpKind)> =
+            records.iter().map(|r| (r.offset, r.size, r.op)).collect();
+        let (widths, cost) = opt.optimize(&sample, avg);
+        prop_assert_eq!(widths.len(), 2);
+        prop_assert!(
+            cost <= choice.cost * 1.05 + 1e-9,
+            "descent cost {cost} is >5% above grid minimum {g} (widths {widths:?} vs ({}, {}))",
+            choice.h(), choice.s(), g = choice.cost
+        );
+        prop_assert!(
+            choice.cost <= cost * 1.05 + 1e-9,
+            "grid minimum {g} is >5% above descent cost {cost} — descent escaped the grid \
+             candidate set (widths {widths:?} vs ({}, {}))",
+            choice.h(), choice.s(), g = choice.cost
+        );
     }
 
     /// Per-request loads shrink (weakly) in both s_m and m when the

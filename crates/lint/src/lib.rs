@@ -16,6 +16,7 @@
 //! | `simcontext-first` | everywhere | `&SimContext` is the first non-self arg |
 //! | `recorded-twins` | everywhere | no `*_recorded` API resurrection |
 //! | `metric-registry` | everywhere but `registry.rs` | no quoted metric names at Recorder calls |
+//! | `two-tier-hygiene` | everywhere but `compat.rs` | no new `(h: u64, s: u64)` pair parameters |
 //!
 //! Legitimate exceptions live in `lint.allow.toml` (rule + path + line
 //! pattern + reason); unused entries are reported as `stale-allow` so the
@@ -124,6 +125,9 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
     if !path.ends_with("registry.rs") {
         rules::metric_registry(path, &toks, &mask, &lines, &mut out);
     }
+    if !path.ends_with("compat.rs") {
+        rules::two_tier_hygiene(path, &toks, &mask, &lines, &mut out);
+    }
     out
 }
 
@@ -171,6 +175,7 @@ pub fn run(root: &Path, allow_path: &Path) -> Result<Report, String> {
         rules::RULE_SIMCONTEXT,
         rules::RULE_RECORDED,
         rules::RULE_METRIC,
+        rules::RULE_TWO_TIER,
     ];
     for e in &allow_entries {
         if !known_rules.contains(&e.rule.as_str()) {

@@ -1,0 +1,13 @@
+// Fixture: the legacy adjacent (h: u64, s: u64) pair in fn signatures.
+// Never compiled — data for the token scanner.
+
+fn region_cost(offset: u64, size: u64, h: u64, s: u64) -> f64 {
+    (offset + size + h + s) as f64
+}
+
+impl Planner {
+    pub fn replan(&mut self, h: u64, s: u64) {
+        self.h = h;
+        self.s = s;
+    }
+}

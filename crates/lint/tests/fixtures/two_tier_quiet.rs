@@ -1,0 +1,38 @@
+// Fixture: constructs the two-tier-hygiene rule must NOT flag.
+// Never compiled — data for the token scanner.
+
+// Per-class widths: the canonical representation.
+fn region_cost(offset: u64, size: u64, widths: &[u64]) -> f64 {
+    (offset + size + widths.iter().sum::<u64>()) as f64
+}
+
+// Interleaved class signature: (m, h) and (n, s) travel as class pairs,
+// not as a bare width pair.
+fn sserver_fraction(m: usize, h: u64, n: usize, s: u64) -> f64 {
+    (n as u64 * s) as f64 / (m as u64 * h + n as u64 * s) as f64
+}
+
+// Struct fields are not fn parameters.
+struct StripeChoice {
+    h: u64,
+    s: u64,
+}
+
+// Closures are not fn items.
+fn search() -> u64 {
+    let consider = |h: u64, s: u64| h + s;
+    consider(1, 2)
+}
+
+// Adjacent pair, but not both u64: out of pattern.
+fn scaled(h: u64, s: f64) -> f64 {
+    h as f64 * s
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may still exercise the legacy pair form.
+    fn legacy_probe(h: u64, s: u64) -> u64 {
+        h + s
+    }
+}

@@ -21,14 +21,14 @@ fn workspace_is_lint_clean() {
         "workspace has lint violations:\n{}",
         violations.join("\n")
     );
-    // The five documented exceptions (DESIGN.md Appendix D) and nothing
+    // The eight documented exceptions (DESIGN.md Appendix D) and nothing
     // else; growing this list is a reviewed decision, not a drive-by.
     assert_eq!(
-        report.allow_entries, 5,
-        "allowlist should hold exactly the five documented exceptions"
+        report.allow_entries, 8,
+        "allowlist should hold exactly the eight documented exceptions"
     );
     assert!(
-        report.findings.iter().filter(|f| f.allowed).count() >= 5,
+        report.findings.iter().filter(|f| f.allowed).count() >= 8,
         "every allow entry should match at least one finding"
     );
     assert!(

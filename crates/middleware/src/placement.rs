@@ -6,7 +6,8 @@
 //! from a logical file region to a physical OrangeFS file."*
 //!
 //! [`place`] turns each RST region into one physical [`FileLayout`] with
-//! that region's `(h, s)` stripes and records the mapping in an [`R2f`].
+//! that region's per-class stripe widths and records the mapping in an
+//! [`R2f`].
 
 use harl_core::{LoadError, RegionStripeTable};
 use harl_pfs::{ClusterConfig, FileId, FileLayout};
@@ -72,7 +73,7 @@ pub struct PlacedFile {
 }
 
 /// Materialise `rst` on `cluster`: one physical file per region, striped
-/// with the region's `(h, s)`.
+/// with the region's per-class widths.
 ///
 /// `first_file_id` allows placing several logical files in one simulation
 /// (physical ids are global).
@@ -84,7 +85,7 @@ pub fn place(
     let mut files = Vec::with_capacity(rst.len());
     let mut mapping = Vec::with_capacity(rst.len());
     for (i, entry) in rst.entries().iter().enumerate() {
-        files.push(FileLayout::two_class(cluster, entry.h, entry.s));
+        files.push(FileLayout::for_classes(cluster, entry.widths()));
         mapping.push(first_file_id + i);
     }
     PlacedFile {
@@ -108,7 +109,7 @@ pub fn bytes_per_server(
         if len == 0 {
             continue;
         }
-        let layout = FileLayout::two_class(cluster, entry.h, entry.s);
+        let layout = FileLayout::for_classes(cluster, entry.widths());
         for (server, bytes) in layout.split(0, len) {
             totals[server] += bytes;
         }
@@ -126,18 +127,8 @@ mod tests {
 
     fn rst() -> RegionStripeTable {
         RegionStripeTable::new(vec![
-            RstEntry {
-                offset: 0,
-                len: 8 * MB,
-                h: 16 * KB,
-                s: 64 * KB,
-            },
-            RstEntry {
-                offset: 8 * MB,
-                len: 8 * MB,
-                h: 0,
-                s: 64 * KB,
-            },
+            RstEntry::two(0, 8 * MB, 16 * KB, 64 * KB),
+            RstEntry::two(8 * MB, 8 * MB, 0, 64 * KB),
         ])
     }
 

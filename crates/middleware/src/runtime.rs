@@ -312,8 +312,16 @@ pub fn run_workload(
     if recorder.is_enabled() {
         for (region, entry) in rst.entries().iter().enumerate() {
             let labels = [("region", region.to_string())];
-            recorder.gauge_set(registry::MW_REGION_STRIPE_H.name, &labels, entry.h as f64);
-            recorder.gauge_set(registry::MW_REGION_STRIPE_S.name, &labels, entry.s as f64);
+            if let [h, s] = entry.widths() {
+                // Two-tier plans keep the paper's named gauges.
+                recorder.gauge_set(registry::MW_REGION_STRIPE_H.name, &labels, *h as f64);
+                recorder.gauge_set(registry::MW_REGION_STRIPE_S.name, &labels, *s as f64);
+            } else {
+                for (class, &w) in entry.widths().iter().enumerate() {
+                    let labels = [("region", region.to_string()), ("class", class.to_string())];
+                    recorder.gauge_set(registry::MW_REGION_STRIPE_WIDTH.name, &labels, w as f64);
+                }
+            }
             recorder.gauge_set(registry::MW_REGION_LEN.name, &labels, entry.len as f64);
         }
     }
@@ -361,18 +369,8 @@ mod tests {
 
     fn two_region_rst() -> RegionStripeTable {
         RegionStripeTable::new(vec![
-            RstEntry {
-                offset: 0,
-                len: 4 * MB,
-                h: 64 * KB,
-                s: 64 * KB,
-            },
-            RstEntry {
-                offset: 4 * MB,
-                len: 4 * MB,
-                h: 0,
-                s: 128 * KB,
-            },
+            RstEntry::two(0, 4 * MB, 64 * KB, 64 * KB),
+            RstEntry::two(4 * MB, 4 * MB, 0, 128 * KB),
         ])
     }
 

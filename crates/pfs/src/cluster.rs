@@ -73,6 +73,44 @@ impl ClusterConfig {
         ClusterConfig::hybrid(6, 2)
     }
 
+    /// A cluster with an arbitrary set of server classes (any class
+    /// count), with the same defaults as [`Self::hybrid`] for everything
+    /// else.
+    pub fn tiered(classes: Vec<ServerClass>) -> Self {
+        assert!(
+            classes.iter().map(|c| c.count).sum::<usize>() > 0,
+            "cluster needs at least one server"
+        );
+        ClusterConfig {
+            classes,
+            network: NetworkProfile::gigabit_ethernet(),
+            compute_nodes: 8,
+            mds_service: SimNanos::from_micros(30),
+            seed: 0x4A51,
+            degradations: Vec::new(),
+        }
+    }
+
+    /// A three-tier cluster: `m` HDD servers, `n` SSD servers, and `o`
+    /// object-store gateways (priced via
+    /// [`harl_devices::object_store_preset`]).
+    pub fn three_tier(m: usize, n: usize, o: usize) -> Self {
+        ClusterConfig::tiered(vec![
+            ServerClass {
+                count: m,
+                profile: hdd_2015_preset(),
+            },
+            ServerClass {
+                count: n,
+                profile: ssd_2015_preset(),
+            },
+            ServerClass {
+                count: o,
+                profile: harl_devices::object_store_preset(),
+            },
+        ])
+    }
+
     /// Builder-style seed override.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -214,6 +252,25 @@ mod tests {
         assert_eq!(c.server_count(), 7);
         assert_eq!(c.class_servers(2), 4..7);
         assert_eq!(c.profile_of(6).kind, DeviceKind::Other);
+    }
+
+    #[test]
+    fn three_tier_cluster_shape() {
+        let c = ClusterConfig::three_tier(4, 2, 1);
+        assert_eq!(c.server_count(), 7);
+        assert_eq!(c.classes.len(), 3);
+        assert_eq!(c.profile_of(6).kind, DeviceKind::Object);
+        assert!(!c.classes[2].profile.cost.is_free());
+        assert!(c.classes[0].profile.cost.is_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_tiered_cluster_rejected() {
+        ClusterConfig::tiered(vec![ServerClass {
+            count: 0,
+            profile: hdd_2015_preset(),
+        }]);
     }
 
     #[test]

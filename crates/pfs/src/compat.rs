@@ -1,0 +1,27 @@
+//! Legacy two-tier `(h, s)` surface — the designated compat module.
+//!
+//! The canonical layout constructor is [`FileLayout::for_classes`], which
+//! takes one stripe width per server class. The paper's two-tier pair form
+//! lives here so harl-lint's `two-tier-hygiene` rule can forbid the shape
+//! everywhere else.
+
+use crate::cluster::ClusterConfig;
+use crate::layout::FileLayout;
+
+impl FileLayout {
+    /// The paper's two-class varied-size striping: width `h` on every
+    /// HDD-class server, `s` on every SSD-class server — exactly
+    /// [`FileLayout::for_classes`] with `widths = [h, s]`.
+    ///
+    /// # Panics
+    /// Panics unless `cluster` has exactly two classes, or if both widths
+    /// are zero.
+    pub fn two_class(cluster: &ClusterConfig, h: u64, s: u64) -> Self {
+        assert_eq!(
+            cluster.classes.len(),
+            2,
+            "two_class layout needs a two-class cluster; use for_classes() for K classes"
+        );
+        FileLayout::for_classes(cluster, &[h, s])
+    }
+}

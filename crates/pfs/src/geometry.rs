@@ -15,9 +15,9 @@ use serde::{Deserialize, Serialize};
 /// The per-group segment widths of a striped file.
 ///
 /// `widths[i]` is the stripe size of the i-th participating server slot.
-/// Zero widths are allowed at construction of the *two-class* layouts (the
-/// paper's `h = 0` case, Fig. 9) but are normalised away: a slot with zero
-/// width simply does not participate.
+/// Zero widths are allowed for any slot (the paper's `h = 0` case, Fig. 9,
+/// generalises to "this class holds no data" at any class count): a slot
+/// with zero width simply does not participate.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GroupLayout {
     widths: Vec<u64>,
@@ -30,10 +30,31 @@ impl GroupLayout {
     /// Build a layout from per-slot widths.
     ///
     /// # Panics
-    /// Panics if all widths are zero — a file must live somewhere.
+    /// Panics if all widths are zero — a file must live somewhere. Layouts
+    /// arriving from outside the process (scenario files, tables loaded
+    /// from disk) should go through [`Self::try_new`] instead.
     pub fn new(widths: Vec<u64>) -> Self {
+        #[allow(clippy::panic)]
+        match Self::try_new(widths) {
+            Ok(l) => l,
+            Err(reason) => panic!("{reason}"),
+        }
+    }
+
+    /// Build a layout from per-slot widths, reporting a validation failure
+    /// as a descriptive error instead of panicking — the entry point for
+    /// layouts parsed from scenario files or loaded from disk.
+    pub fn try_new(widths: Vec<u64>) -> Result<Self, String> {
+        if widths.is_empty() {
+            return Err("group layout has no slots".into());
+        }
         let total: u64 = widths.iter().sum();
-        assert!(total > 0, "group layout with no capacity (all widths zero)");
+        if total == 0 {
+            return Err(format!(
+                "group layout with no capacity (all {} widths zero)",
+                widths.len()
+            ));
+        }
         let mut starts = Vec::with_capacity(widths.len() + 1);
         let mut acc = 0;
         starts.push(0);
@@ -41,7 +62,7 @@ impl GroupLayout {
             acc += w;
             starts.push(acc);
         }
-        GroupLayout { widths, starts }
+        Ok(GroupLayout { widths, starts })
     }
 
     /// The paper's two-class layout: `m` slots of width `h` then `n` slots
@@ -279,6 +300,16 @@ mod tests {
     #[should_panic(expected = "no capacity")]
     fn all_zero_widths_rejected() {
         GroupLayout::two_class(4, 0, 2, 0);
+    }
+
+    #[test]
+    fn try_new_reports_descriptive_errors() {
+        let err = GroupLayout::try_new(vec![0, 0, 0]).unwrap_err();
+        assert!(err.contains("no capacity"), "got: {err}");
+        assert!(err.contains('3'), "should name the slot count: {err}");
+        let err = GroupLayout::try_new(Vec::new()).unwrap_err();
+        assert!(err.contains("no slots"), "got: {err}");
+        assert!(GroupLayout::try_new(vec![0, 64]).is_ok());
     }
 
     #[test]

@@ -5,10 +5,11 @@
 //!
 //! * **fixed-size stripe** over all servers (the traditional scheme,
 //!   Fig. 2(a)) — [`FileLayout::fixed`];
-//! * **varied-size stripe**: one width for HServers, another for SServers
-//!   (one HARL region, Fig. 2(b)) — [`FileLayout::two_class`];
-//! * arbitrary per-server widths for the K-profile extension —
-//!   [`FileLayout::custom`].
+//! * **varied-size stripe**: one width per server class in class order
+//!   (one HARL region; the paper's two-class Fig. 2(b) at `K = 2`) —
+//!   [`FileLayout::for_classes`] (the legacy `(h, s)` entry point
+//!   [`FileLayout::two_class`] lives in [`crate::compat`]);
+//! * arbitrary per-server widths — [`FileLayout::custom`].
 
 use crate::cluster::{ClusterConfig, ServerId};
 use crate::geometry::GroupLayout;
@@ -30,17 +31,38 @@ impl FileLayout {
     /// Build from explicit `(server, width)` pairs, dropping zero widths.
     ///
     /// # Panics
-    /// Panics if every width is zero, or a server id repeats.
+    /// Panics if every width is zero, or a server id repeats. Layouts
+    /// arriving from outside the process should go through
+    /// [`Self::try_custom`].
     pub fn custom(pairs: Vec<(ServerId, u64)>) -> Self {
+        #[allow(clippy::panic)]
+        match Self::try_custom(pairs) {
+            Ok(l) => l,
+            Err(reason) => panic!("{reason}"),
+        }
+    }
+
+    /// [`Self::custom`] with a descriptive error instead of a panic — the
+    /// entry point for layouts parsed from scenario files or loaded from
+    /// disk.
+    pub fn try_custom(pairs: Vec<(ServerId, u64)>) -> Result<Self, String> {
         let kept: Vec<(ServerId, u64)> = pairs.into_iter().filter(|&(_, w)| w > 0).collect();
-        assert!(!kept.is_empty(), "file layout with no capacity");
+        if kept.is_empty() {
+            return Err("file layout with no capacity (every stripe width is zero)".into());
+        }
         let mut ids: Vec<ServerId> = kept.iter().map(|&(id, _)| id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), kept.len(), "duplicate server in file layout");
+        if ids.len() != kept.len() {
+            return Err(format!(
+                "duplicate server in file layout ({} pairs, {} distinct ids)",
+                kept.len(),
+                ids.len()
+            ));
+        }
         let servers = kept.iter().map(|&(id, _)| id).collect();
-        let group = GroupLayout::new(kept.iter().map(|&(_, w)| w).collect());
-        FileLayout { servers, group }
+        let group = GroupLayout::try_new(kept.iter().map(|&(_, w)| w).collect())?;
+        Ok(FileLayout { servers, group })
     }
 
     /// Fixed-size striping over all servers of `cluster`, round-robin from
@@ -50,21 +72,26 @@ impl FileLayout {
         FileLayout::custom(cluster.all_servers().map(|id| (id, stripe)).collect())
     }
 
-    /// The paper's two-class varied-size striping: width `h` on every
-    /// HDD-class server, `s` on every SSD-class server (class order is the
-    /// cluster's class order, matching the paper's "0 to M+N-1 round-robin").
+    /// Per-class varied-size striping: `widths[k]` on every server of
+    /// class `k`, in the cluster's class order (matching the paper's
+    /// "0 to M+N-1 round-robin"; `widths = [h, s]` reproduces the
+    /// two-class Fig. 2(b) layout exactly).
     ///
-    /// Either width may be zero (that class then holds no data); both zero
+    /// Any width may be zero (that class then holds no data); all zero
     /// panics.
-    pub fn two_class(cluster: &ClusterConfig, h: u64, s: u64) -> Self {
+    ///
+    /// # Panics
+    /// Panics unless `widths` has exactly one entry per cluster class.
+    pub fn for_classes(cluster: &ClusterConfig, widths: &[u64]) -> Self {
         assert_eq!(
+            widths.len(),
             cluster.classes.len(),
-            2,
-            "two_class layout needs a two-class cluster; use custom() for K classes"
+            "one stripe width per server class"
         );
         let mut pairs = Vec::with_capacity(cluster.server_count());
-        pairs.extend(cluster.class_servers(0).map(|id| (id, h)));
-        pairs.extend(cluster.class_servers(1).map(|id| (id, s)));
+        for (k, &w) in widths.iter().enumerate() {
+            pairs.extend(cluster.class_servers(k).map(|id| (id, w)));
+        }
         FileLayout::custom(pairs)
     }
 
@@ -166,6 +193,33 @@ mod tests {
             let total: u64 = l.split(o, r).iter().map(|&(_, b)| b).sum();
             assert_eq!(total, r);
         }
+    }
+
+    #[test]
+    fn for_classes_matches_two_class_at_k2() {
+        let c = ClusterConfig::paper_default();
+        let a = FileLayout::for_classes(&c, &[32 * 1024, 160 * 1024]);
+        let b = FileLayout::two_class(&c, 32 * 1024, 160 * 1024);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn for_classes_three_tier() {
+        let c =
+            ClusterConfig::hybrid(2, 2).with_extra_class(1, harl_devices::object_store_preset());
+        let l = FileLayout::for_classes(&c, &[16 * 1024, 64 * 1024, 1024 * 1024]);
+        assert_eq!(l.width_of(0), 16 * 1024);
+        assert_eq!(l.width_of(2), 64 * 1024);
+        assert_eq!(l.width_of(4), 1024 * 1024);
+        assert_eq!(l.group_size(), 2 * 16 * 1024 + 2 * 64 * 1024 + 1024 * 1024);
+    }
+
+    #[test]
+    fn try_custom_reports_errors() {
+        let err = FileLayout::try_custom(vec![(0, 0), (1, 0)]).unwrap_err();
+        assert!(err.contains("no capacity"), "got: {err}");
+        let err = FileLayout::try_custom(vec![(0, 10), (0, 20)]).unwrap_err();
+        assert!(err.contains("duplicate server"), "got: {err}");
     }
 
     #[test]

@@ -38,6 +38,7 @@
 )]
 
 pub mod cluster;
+pub mod compat;
 pub mod faults;
 pub mod geometry;
 pub mod layout;

@@ -414,13 +414,14 @@ impl<E> CalendarQueue<E> {
         // Hysteresis: a one-step width disagreement is within noise and
         // not worth an O(len) rebuild; act on clear regime changes only.
         if shift.abs_diff(self.shift) >= 2 || buckets != self.ring.len() {
-            self.rebuild(shift, buckets);
+            self.rebuild(shift, buckets, at);
         }
     }
 
     /// Re-bucket every pending key under new geometry. `O(len)`; runs at
     /// most once per `ADAPT_EVERY` pops so the amortised cost is noise.
-    fn rebuild(&mut self, shift: u32, buckets: usize) {
+    /// `now` is the pop time that triggered the review.
+    fn rebuild(&mut self, shift: u32, buckets: usize, now: SimNanos) {
         self.rebuilds += 1;
         let mut keys: Vec<Key> = Vec::with_capacity(self.len);
         keys.extend_from_slice(&self.cur[self.cur_pos..]);
@@ -438,13 +439,14 @@ impl<E> CalendarQueue<E> {
         self.occ = OccBitmap::with_capacity(buckets);
         self.cur.clear();
         self.cur_pos = 0;
-        // The new cursor bucket is the one holding the earliest key (or
-        // stays put if nothing is pending).
-        self.base = keys
-            .iter()
-            .map(|k| k.at)
-            .min()
-            .map_or(self.base, |at| at.as_nanos() >> shift);
+        // Anchor the cursor at the bucket of the pop time that triggered
+        // the review, not at the earliest *pending* key: a handler may
+        // still schedule a zero-delay follow-up at `now`, and `place`
+        // requires `base <= bucket_of(at)` for every future push. `now`
+        // is a lower bound on all pending and future keys (pop order is
+        // ascending and `schedule` rejects past times), so every key
+        // lands at or ahead of the cursor.
+        self.base = now.as_nanos() >> shift;
         for key in keys {
             self.place(key);
         }

@@ -50,6 +50,8 @@ pub enum Unit {
     Seconds,
     /// Dimensionless fraction in `[0, 1]` (utilisation and the like).
     Ratio,
+    /// US dollars (object-store tier pricing).
+    Dollars,
 }
 
 impl Unit {
@@ -61,6 +63,7 @@ impl Unit {
             Unit::Nanoseconds => "ns",
             Unit::Seconds => "s",
             Unit::Ratio => "",
+            Unit::Dollars => "$",
         }
     }
 }
@@ -165,6 +168,10 @@ metrics! {
     /// Planned SServer stripe per region, labelled by `region`.
     MW_REGION_STRIPE_S = ("mw.region.stripe_s", Gauge, Bytes,
         "planned SServer stripe size of a region");
+    /// Planned stripe width per region and class, labelled by
+    /// `region`/`class` (any class count; `K = 2` keeps `stripe_h`/`_s`).
+    MW_REGION_STRIPE_WIDTH = ("mw.region.stripe_width", Gauge, Bytes,
+        "planned stripe width of a region on one server class");
     /// Region length, labelled by `region`.
     MW_REGION_LEN = ("mw.region.len", Gauge, Bytes,
         "length of a region");
@@ -182,6 +189,10 @@ metrics! {
     /// Winning SServer stripe, labelled by `region`.
     HARL_OPTIMIZER_STRIPE_S = ("harl.optimizer.stripe_s", Gauge, Bytes,
         "SServer stripe size chosen by Algorithm 2");
+    /// Winning stripe width per class (`K ≥ 3` layouts), labelled by
+    /// `region`/`class`.
+    HARL_OPTIMIZER_STRIPE_WIDTH = ("harl.optimizer.stripe_width", Gauge, Bytes,
+        "stripe width chosen by coordinate descent for one server class");
     /// Predicted cost of the winning pair, labelled by `region`.
     HARL_OPTIMIZER_PREDICTED_COST_S = ("harl.optimizer.predicted_cost_s", Summary, Seconds,
         "predicted cost of the chosen stripe pair");
@@ -200,6 +211,11 @@ metrics! {
     /// Re-plans adopted by the online monitor, labelled by `region`.
     HARL_ONLINE_ADAPTATIONS = ("harl.online.adaptations", Counter, Count,
         "layout adaptations adopted by the online monitor");
+    /// Projected monthly dollar cost of the adopted plan (object-store
+    /// capacity rent plus per-request GET/PUT fees; 0 when every class is
+    /// free on-prem).
+    HARL_PLAN_COST_USD = ("harl.plan.cost_usd", Gauge, Dollars,
+        "projected monthly dollar cost of the adopted layout plan");
 }
 
 /// Look up a metric declaration by name.

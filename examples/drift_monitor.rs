@@ -22,11 +22,11 @@ fn main() {
     let old = IorConfig::paper_default(OpKind::Read, GIB).build();
     let old_trace = collect_trace_lowered(&cluster, &old, &ccfg);
     let rst = HarlPolicy::new(model.clone()).plan(&SimContext::new(), &old_trace, 16 * GIB);
-    let e = rst.entries()[0];
+    let e = &rst.entries()[0];
     println!(
         "planned for 512KiB requests: (h, s) = ({}, {})",
-        ByteSize(e.h),
-        ByteSize(e.s)
+        ByteSize(e.h()),
+        ByteSize(e.s())
     );
 
     // Day 30: the pattern drifts to 128 KiB requests.
@@ -58,10 +58,10 @@ fn main() {
             );
             println!(
                 "  re-plan ({}, {}) -> ({}, {})",
-                ByteSize(event.old.0),
-                ByteSize(event.old.1),
-                ByteSize(event.new.0),
-                ByteSize(event.new.1)
+                ByteSize(event.old[0]),
+                ByteSize(event.old[1]),
+                ByteSize(event.new[0]),
+                ByteSize(event.new[1])
             );
             println!(
                 "  migration: {} to re-stripe; saves {:.2} ms/request",
@@ -74,10 +74,10 @@ fn main() {
         }
     }
     assert!(fired > 0, "drift should have been detected");
-    let adapted = monitor.current_rst().entries()[0];
+    let adapted = &monitor.current_rst().entries()[0];
     println!(
         "\nactive layout now: (h, s) = ({}, {})",
-        ByteSize(adapted.h),
-        ByteSize(adapted.s)
+        ByteSize(adapted.h()),
+        ByteSize(adapted.s())
     );
 }

@@ -45,12 +45,12 @@ fn main() {
         }
         let harl = HarlPolicy::new(model.clone());
         let (rst, report) = trace_plan_run(&SimContext::new(), &cluster, &harl, &workload, &ccfg);
-        let e = rst.entries()[0];
+        let e = &rst.entries()[0];
         row.push_str(&format!(
             " {:>10.0}  ({}, {})",
             report.throughput_mib_s(),
-            ByteSize(e.h),
-            ByteSize(e.s)
+            ByteSize(e.h()),
+            ByteSize(e.s())
         ));
         println!("{row}");
     }

@@ -98,7 +98,7 @@ fn main() {
         } else {
             OpKind::Read
         };
-        let predicted = model.request_cost(offset, size, op, entry.h, entry.s);
+        let predicted = model.request_cost(offset, size, op, entry.h(), entry.s());
         predictions[region].push(predicted);
         residuals[region].push(span.latency_ns() as f64 / 1e9 - predicted);
     }
@@ -115,7 +115,7 @@ fn main() {
         println!(
             "  {:<8} {:>12} {:>8} {:>11.3} ms {:>11.3} ms {:>11.3} ms",
             region,
-            format!("({}, {})", entry.h / 1024, entry.s / 1024),
+            format!("({}, {})", entry.h() / 1024, entry.s() / 1024),
             r.count(),
             p.mean() * 1e3,
             r.mean() * 1e3,

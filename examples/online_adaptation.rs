@@ -28,8 +28,8 @@ fn main() {
     let ssd_bytes = projected_sserver_bytes(&model, &rst);
     println!(
         "HARL plan: (h, s) = ({}, {}), projected SServer usage {} of a {} file",
-        ByteSize(rst.entries()[0].h),
-        ByteSize(rst.entries()[0].s),
+        ByteSize(rst.entries()[0].h()),
+        ByteSize(rst.entries()[0].s()),
         ByteSize(ssd_bytes),
         ByteSize(file_size)
     );
@@ -55,8 +55,8 @@ fn main() {
             "  region [{}, {}): h = {}, s = {}",
             ByteSize(e.offset),
             ByteSize(e.end()),
-            ByteSize(e.h),
-            ByteSize(e.s)
+            ByteSize(e.h()),
+            ByteSize(e.s())
         );
     }
 

@@ -46,8 +46,8 @@ fn main() {
             "  region {i}: [{}, {}) h = {}, s = {}",
             ByteSize(e.offset),
             ByteSize(e.end()),
-            ByteSize(e.h),
-            ByteSize(e.s)
+            ByteSize(e.h()),
+            ByteSize(e.s())
         );
     }
 

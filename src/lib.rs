@@ -45,7 +45,8 @@ pub mod scenario;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use crate::scenario::{
-        ClusterSpec, FaultSpec, HybridCluster, PolicySpec, Scenario, ScenarioReport, WorkloadSpec,
+        ClusterSpec, FaultSpec, HybridCluster, PolicySpec, Scenario, ScenarioReport, TierSpec,
+        TieredCluster, WorkloadSpec,
     };
     pub use harl_core::{
         CostModelParams, FixedPolicy, HarlPolicy, LayoutPolicy, LoadError, MultiProfileModel,
@@ -54,8 +55,9 @@ pub mod prelude {
         TraceRecord,
     };
     pub use harl_devices::{
-        calibrate_network, calibrate_storage, hdd_2015_preset, nvme_2020_preset, ssd_2015_preset,
-        CalibrationConfig, DeviceKind, NetworkProfile, OpKind, StorageProfile,
+        calibrate_network, calibrate_storage, hdd_2015_preset, nvme_2020_preset,
+        object_store_preset, ssd_2015_preset, CalibrationConfig, CostProfile, DeviceKind,
+        NetworkProfile, OpKind, StorageProfile,
     };
     pub use harl_middleware::{
         collect_trace, collect_trace_lowered, run_shared, run_workload, trace_plan_run,

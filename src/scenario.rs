@@ -27,12 +27,15 @@
 
 use harl_core::errors::LoadError;
 use harl_core::{
-    CostModelParams, FixedPolicy, HarlPolicy, LayoutPolicy, RandomPolicy, RegionStripeTable,
+    FixedPolicy, HarlPolicy, LayoutPolicy, MultiProfileModel, RandomPolicy, RegionStripeTable,
     SegmentPolicy, ServerLevelPolicy, Trace,
 };
+use harl_devices::{
+    hdd_2015_preset, nvme_2020_preset, object_store_preset, ssd_2015_preset, StorageProfile,
+};
 use harl_middleware::{trace_plan_run, CollectiveConfig, Workload};
-use harl_pfs::ClusterConfig;
-use harl_simcore::{Degradation, SimContext, SimNanos};
+use harl_pfs::{ClusterConfig, ServerClass, SimReport};
+use harl_simcore::{registry, Degradation, SimContext, SimNanos};
 use harl_workloads::{replay, BtioConfig, IorConfig, MultiRegionIorConfig, PhasedConfig};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -48,6 +51,9 @@ pub enum ClusterSpec {
     Hybrid(HybridCluster),
     /// A fully explicit [`ClusterConfig`] (JSON: `{"Explicit": {...}}`).
     Explicit(ClusterConfig),
+    /// A cluster of named device-preset tiers, any class count
+    /// (JSON: `{"Tiered": {"tiers": [{"count": 4, "preset": "hdd-2015"}, ...]}}`).
+    Tiered(TieredCluster),
 }
 
 /// Geometry knobs for [`ClusterSpec::Hybrid`].
@@ -64,6 +70,49 @@ pub struct HybridCluster {
     /// field overrides this at run time).
     #[serde(default)]
     pub seed: Option<u64>,
+}
+
+/// Geometry knobs for [`ClusterSpec::Tiered`]: server classes in id order,
+/// each resolved from a named device preset. This is how three-tier (and
+/// K-tier) clusters are expressed from JSON without spelling out full
+/// device profiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TieredCluster {
+    /// Server classes in server-id order.
+    pub tiers: Vec<TierSpec>,
+    /// Compute nodes (defaults to the paper's count when omitted).
+    #[serde(default)]
+    pub compute_nodes: Option<usize>,
+    /// Base RNG seed baked into the cluster (the scenario-level `seed`
+    /// field overrides this at run time).
+    #[serde(default)]
+    pub seed: Option<u64>,
+}
+
+/// One server class of a [`ClusterSpec::Tiered`] cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierSpec {
+    /// Number of servers in this class.
+    pub count: usize,
+    /// Device preset name: `"hdd-2015"`, `"ssd-2015"`, `"nvme-2020"` or
+    /// `"object-store"` (the priced cloud tier).
+    pub preset: String,
+}
+
+impl TierSpec {
+    /// Resolve the preset name to a device profile.
+    pub fn profile(&self) -> Result<StorageProfile, String> {
+        match self.preset.as_str() {
+            "hdd-2015" => Ok(hdd_2015_preset()),
+            "ssd-2015" => Ok(ssd_2015_preset()),
+            "nvme-2020" => Ok(nvme_2020_preset()),
+            "object-store" => Ok(object_store_preset()),
+            other => Err(format!(
+                "unknown device preset {other:?} \
+                 (expected hdd-2015, ssd-2015, nvme-2020 or object-store)"
+            )),
+        }
+    }
 }
 
 /// The application driving I/O.
@@ -257,6 +306,17 @@ impl Scenario {
                     return Err("cluster must have at least one compute node".into());
                 }
             }
+            ClusterSpec::Tiered(t) => {
+                if t.tiers.iter().map(|c| c.count).sum::<usize>() == 0 {
+                    return Err("cluster must have at least one server".into());
+                }
+                if t.compute_nodes == Some(0) {
+                    return Err("cluster must have at least one compute node".into());
+                }
+                for tier in &t.tiers {
+                    tier.profile()?;
+                }
+            }
         }
         match &self.workload {
             WorkloadSpec::Ior(c) => {
@@ -348,6 +408,34 @@ impl Scenario {
                 c
             }
             ClusterSpec::Explicit(c) => c.clone(),
+            ClusterSpec::Tiered(t) => {
+                let classes = t
+                    .tiers
+                    .iter()
+                    .map(|tier| {
+                        // Documented precondition: validate() resolves every
+                        // preset first, so an unknown name cannot reach here
+                        // through the JSON entry points.
+                        #[allow(clippy::panic)]
+                        let profile = match tier.profile() {
+                            Ok(p) => p,
+                            Err(reason) => panic!("{reason}"),
+                        };
+                        ServerClass {
+                            count: tier.count,
+                            profile,
+                        }
+                    })
+                    .collect();
+                let mut c = ClusterConfig::tiered(classes);
+                if let Some(nodes) = t.compute_nodes {
+                    c = c.with_compute_nodes(nodes);
+                }
+                if let Some(seed) = t.seed {
+                    c = c.with_seed(seed);
+                }
+                c
+            }
         }
     }
 
@@ -367,10 +455,11 @@ impl Scenario {
 
     /// Materialise the layout policy for `cluster`.
     pub fn build_policy(&self, cluster: &ClusterConfig) -> Box<dyn LayoutPolicy> {
-        let model = || CostModelParams::from_cluster(cluster);
+        let model = || MultiProfileModel::from_cluster(cluster);
+        let classes = cluster.classes.len();
         match self.policy {
-            PolicySpec::Fixed(stripe) => Box::new(FixedPolicy::new(stripe)),
-            PolicySpec::Random(seed) => Box::new(RandomPolicy::new(seed)),
+            PolicySpec::Fixed(stripe) => Box::new(FixedPolicy::uniform(stripe, classes)),
+            PolicySpec::Random(seed) => Box::new(RandomPolicy::for_classes(seed, classes)),
             PolicySpec::Segment(segment_size) => Box::new(SegmentPolicy {
                 model: model(),
                 segment_size,
@@ -411,6 +500,13 @@ impl Scenario {
         let ccfg = self.collective.unwrap_or_default();
         let ctx = self.context(base);
         let (rst, report) = trace_plan_run(&ctx, &cluster, policy.as_ref(), &workload, &ccfg);
+        let plan_cost_usd = plan_dollar_cost(&cluster, &rst, &report);
+        if let Some(usd) = plan_cost_usd {
+            let recorder = ctx.recorder();
+            if recorder.is_enabled() {
+                recorder.gauge_set(registry::HARL_PLAN_COST_USD.name, &[], usd);
+            }
+        }
         Ok(ScenarioReport {
             name: self.name.clone(),
             policy: self.policy.label(),
@@ -422,13 +518,58 @@ impl Scenario {
             bytes_read: report.bytes_read,
             bytes_written: report.bytes_written,
             requests_completed: report.requests_completed,
+            plan_cost_usd,
             rst,
         })
     }
 }
 
+/// One month's dollar cost of holding and serving the planned layout, or
+/// `None` when every tier is free (the paper's on-prem two-tier setup).
+///
+/// Capacity rent charges each priced server for the bytes the RST maps
+/// onto it (`usd_per_gb_month`, held for one month); request fees charge
+/// each priced server's simulated sub-requests at the GET/PUT price, with
+/// the read/write split taken from the workload's byte totals. See
+/// DESIGN.md Appendix G for the break-even arithmetic.
+fn plan_dollar_cost(
+    cluster: &ClusterConfig,
+    rst: &RegionStripeTable,
+    report: &SimReport,
+) -> Option<f64> {
+    if cluster.classes.iter().all(|c| c.profile.cost.is_free()) {
+        return None;
+    }
+    let stored = harl_middleware::bytes_per_server(cluster, rst, rst.file_size());
+    let total_io = report.bytes_read + report.bytes_written;
+    let read_frac = if total_io == 0 {
+        0.0
+    } else {
+        report.bytes_read as f64 / total_io as f64
+    };
+    const GB: f64 = 1_000_000_000.0;
+    let mut usd = 0.0;
+    for (idx, class) in cluster.classes.iter().enumerate() {
+        let cost = &class.profile.cost;
+        if cost.is_free() {
+            continue;
+        }
+        for sid in cluster.class_servers(idx) {
+            usd += stored.get(sid).copied().unwrap_or(0) as f64 / GB * cost.usd_per_gb_month;
+            let jobs = report.servers.get(sid).map_or(0, |s| s.disk_jobs) as f64;
+            usd += jobs * read_frac * cost.usd_per_get;
+            usd += jobs * (1.0 - read_frac) * cost.usd_per_put;
+        }
+    }
+    Some(usd)
+}
+
 /// Deterministic summary of one scenario run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialisation is hand-written: `plan_cost_usd` is omitted when `None`,
+/// so reports from all-free clusters stay byte-identical to the pre-pricing
+/// format (and to `scenarios/smoke.golden.json`).
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioReport {
     /// Scenario name, echoed from the spec.
     pub name: String,
@@ -450,8 +591,67 @@ pub struct ScenarioReport {
     pub bytes_written: u64,
     /// Physical requests completed by the PFS.
     pub requests_completed: u64,
+    /// One month's dollar cost of the plan on priced tiers; `None` when
+    /// every tier is free. See [`CostProfile`](harl_devices::CostProfile).
+    pub plan_cost_usd: Option<f64>,
     /// The planned layout itself.
     pub rst: RegionStripeTable,
+}
+
+impl Serialize for ScenarioReport {
+    fn serialize(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("name".to_string(), self.name.serialize());
+        map.insert("policy".to_string(), self.policy.serialize());
+        map.insert("seed".to_string(), self.seed.serialize());
+        map.insert("regions".to_string(), self.regions.serialize());
+        map.insert("file_size".to_string(), self.file_size.serialize());
+        map.insert("makespan_ns".to_string(), self.makespan_ns.serialize());
+        map.insert(
+            "throughput_mib_s".to_string(),
+            self.throughput_mib_s.serialize(),
+        );
+        map.insert("bytes_read".to_string(), self.bytes_read.serialize());
+        map.insert("bytes_written".to_string(), self.bytes_written.serialize());
+        map.insert(
+            "requests_completed".to_string(),
+            self.requests_completed.serialize(),
+        );
+        if let Some(usd) = self.plan_cost_usd {
+            map.insert("plan_cost_usd".to_string(), usd.serialize());
+        }
+        map.insert("rst".to_string(), self.rst.serialize());
+        serde::Value::Object(map)
+    }
+}
+
+impl Deserialize for ScenarioReport {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("object", "ScenarioReport"))?;
+        let field = |name: &'static str| -> Result<&serde::Value, serde::Error> {
+            map.get(name)
+                .ok_or_else(|| serde::Error::missing_field(name, "ScenarioReport"))
+        };
+        Ok(ScenarioReport {
+            name: String::deserialize(field("name")?)?,
+            policy: String::deserialize(field("policy")?)?,
+            seed: u64::deserialize(field("seed")?)?,
+            regions: usize::deserialize(field("regions")?)?,
+            file_size: u64::deserialize(field("file_size")?)?,
+            makespan_ns: u64::deserialize(field("makespan_ns")?)?,
+            throughput_mib_s: f64::deserialize(field("throughput_mib_s")?)?,
+            bytes_read: u64::deserialize(field("bytes_read")?)?,
+            bytes_written: u64::deserialize(field("bytes_written")?)?,
+            requests_completed: u64::deserialize(field("requests_completed")?)?,
+            plan_cost_usd: match map.get("plan_cost_usd") {
+                Some(v) => Some(f64::deserialize(v)?),
+                None => None,
+            },
+            rst: RegionStripeTable::deserialize(field("rst")?)?,
+        })
+    }
 }
 
 impl ScenarioReport {

@@ -55,8 +55,8 @@ fn online_adaptation_converges_to_fresh_offline_plan() {
     // for the new pattern.
     let fresh = HarlPolicy::new(model).plan(&SimContext::new(), &new_trace, FILE);
     assert_eq!(
-        (adapted_rst.entries()[0].h, adapted_rst.entries()[0].s),
-        (fresh.entries()[0].h, fresh.entries()[0].s),
+        (adapted_rst.entries()[0].h(), adapted_rst.entries()[0].s()),
+        (fresh.entries()[0].h(), fresh.entries()[0].s()),
         "online adaptation should match the fresh offline plan"
     );
 

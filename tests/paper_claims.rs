@@ -131,9 +131,9 @@ fn fig7_read_optimum_is_32k_160k() {
         &w,
         &CollectiveConfig::default(),
     );
-    let e = rst.entries()[0];
+    let e = &rst.entries()[0];
     assert_eq!(
-        (e.h / 1024, e.s / 1024),
+        (e.h() / 1024, e.s() / 1024),
         (32, 160),
         "read optimum drifted from the paper's {{32K, 160K}}"
     );
@@ -154,8 +154,12 @@ fn fig9_small_requests_ssd_only_large_requests_mixed() {
         &w_small,
         &ccfg,
     );
-    let e = rst_small.entries()[0];
-    assert_eq!((e.h, e.s), (0, 64 * KIB), "paper: {{0K, 64K}} at 128 KiB");
+    let e = &rst_small.entries()[0];
+    assert_eq!(
+        (e.h(), e.s()),
+        (0, 64 * KIB),
+        "paper: {{0K, 64K}} at 128 KiB"
+    );
 
     let w_large = ior(OpKind::Read, 16, 1024 * KIB, FILE);
     let (rst_large, _) = trace_plan_run(
@@ -165,9 +169,9 @@ fn fig9_small_requests_ssd_only_large_requests_mixed() {
         &w_large,
         &ccfg,
     );
-    let e = rst_large.entries()[0];
-    assert!(e.h > 0, "1024 KiB requests should use both classes");
-    assert!(e.s > e.h);
+    let e = &rst_large.entries()[0];
+    assert!(e.h() > 0, "1024 KiB requests should use both classes");
+    assert!(e.s() > e.h());
 }
 
 /// Fig. 10: with more SServers than HServers (2:6), HARL places the file
@@ -189,7 +193,7 @@ fn fig10_ssd_rich_cluster_goes_ssd_only() {
         );
         (
             h.throughput_mib_s() / d.throughput_mib_s(),
-            rst.entries()[0].h,
+            rst.entries()[0].h(),
         )
     };
     let (gain_62, _) = improvement(6, 2);
@@ -219,7 +223,7 @@ fn fig11_nonuniform_workload_gets_regions() {
         rst.len()
     );
     let layouts: std::collections::HashSet<(u64, u64)> =
-        rst.entries().iter().map(|e| (e.h, e.s)).collect();
+        rst.entries().iter().map(|e| (e.h(), e.s())).collect();
     assert!(layouts.len() >= 2, "regions should get distinct layouts");
     for &stripe in &[16 * KIB, 64 * KIB, 256 * KIB] {
         let (_, f) = trace_plan_run(
@@ -270,8 +274,8 @@ fn harl_balances_completion_times() {
     let ccfg = CollectiveConfig::default();
     let (rst, report) =
         trace_plan_run(&SimContext::new(), &cluster, &harl_for(&cluster), &w, &ccfg);
-    let e = rst.entries()[0];
-    assert!(e.s > e.h, "SServer stripe must exceed HServer stripe");
+    let e = &rst.entries()[0];
+    assert!(e.s() > e.h(), "SServer stripe must exceed HServer stripe");
     assert!(
         report.imbalance() < 2.0,
         "HARL imbalance {:.2}x should be far below the default's ~5x",

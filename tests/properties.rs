@@ -156,12 +156,12 @@ proptest! {
             let mut off = 0;
             for (i, &l) in lens.iter().enumerate() {
                 let region_len = l * STEP * 256;
-                out.push(RstEntry {
-                    offset: off,
-                    len: region_len,
-                    h: ((i as u64 % 4) * 16) * 1024,
-                    s: 64 * 1024,
-                });
+                out.push(RstEntry::two(
+                    off,
+                    region_len,
+                    ((i as u64 % 4) * 16) * 1024,
+                    64 * 1024,
+                ));
                 off += region_len;
             }
             out
@@ -250,7 +250,7 @@ proptest! {
                 (((i as u64 % 3) + 1) * 16 * 1024, 64 * 1024)
             };
             let len = l * (1 << 20);
-            entries.push(RstEntry { offset: off, len, h, s });
+            entries.push(RstEntry::two(off, len, h, s));
             off += len;
         }
         let rst = RegionStripeTable::new(entries);
@@ -261,6 +261,6 @@ proptest! {
         let probe = (rst.file_size() as f64 * probe_frac) as u64;
         let a = rst.lookup(probe);
         let b = merged.lookup(probe);
-        prop_assert_eq!((a.h, a.s), (b.h, b.s));
+        prop_assert_eq!((a.h(), a.s()), (b.h(), b.s()));
     }
 }

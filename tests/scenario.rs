@@ -220,3 +220,80 @@ fn report_round_trips_through_json() {
     let back = ScenarioReport::from_json(&json).expect("parses");
     assert_eq!(back, report);
 }
+
+fn three_tier_scenario() -> Scenario {
+    Scenario::new(WorkloadSpec::Ior(IorConfig {
+        processes: 4,
+        request_size: 256 * 1024,
+        file_size: 16 << 20,
+        op: OpKind::Read,
+        order: AccessOrder::Sequential,
+        seed: 42,
+    }))
+    .named("test-three-tier")
+    .with_cluster(ClusterSpec::Tiered(TieredCluster {
+        tiers: vec![
+            TierSpec {
+                count: 4,
+                preset: "hdd-2015".into(),
+            },
+            TierSpec {
+                count: 2,
+                preset: "ssd-2015".into(),
+            },
+            TierSpec {
+                count: 2,
+                preset: "object-store".into(),
+            },
+        ],
+        compute_nodes: None,
+        seed: None,
+    }))
+    .with_policy(PolicySpec::Fixed(256 * 1024))
+    .with_seed(7)
+}
+
+#[test]
+fn tiered_cluster_round_trips_and_validates() {
+    let scenario = three_tier_scenario();
+    let json = scenario.to_json_pretty();
+    let back = Scenario::from_json(&json).expect("tiered scenario parses");
+    assert_eq!(back, scenario);
+    scenario.validate().expect("tiered scenario is valid");
+
+    // An unknown preset and an empty tier list are both rejected.
+    let bad = scenario
+        .clone()
+        .with_cluster(ClusterSpec::Tiered(TieredCluster {
+            tiers: vec![TierSpec {
+                count: 2,
+                preset: "floppy-1995".into(),
+            }],
+            compute_nodes: None,
+            seed: None,
+        }));
+    let err = bad.validate().expect_err("unknown preset rejected");
+    assert!(err.contains("floppy-1995"), "{err}");
+    let empty = scenario.with_cluster(ClusterSpec::Tiered(TieredCluster {
+        tiers: vec![],
+        compute_nodes: None,
+        seed: None,
+    }));
+    assert!(empty.validate().is_err(), "empty tier list rejected");
+}
+
+#[test]
+fn priced_tier_reports_nonzero_dollar_cost() {
+    let report = three_tier_scenario()
+        .run(&SimContext::new())
+        .expect("three-tier scenario runs");
+    let usd = report.plan_cost_usd.expect("priced tier yields a bill");
+    assert!(usd > 0.0, "object-store tier holds bytes, bill must be > 0");
+    // The dollar field round-trips through the report JSON.
+    let back = ScenarioReport::from_json(&report.to_json_pretty()).expect("parses");
+    assert_eq!(back, report);
+    // An all-free cluster omits the field entirely (golden compatibility).
+    let free = smoke_scenario().run(&SimContext::new()).expect("runs");
+    assert_eq!(free.plan_cost_usd, None);
+    assert!(!free.to_json_pretty().contains("plan_cost_usd"));
+}
