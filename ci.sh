@@ -118,4 +118,52 @@ echo "== bench-sim regression guard =="
 cargo run --release -q -p harl-bench --bin harl-cli -- \
     bench-sim --guard BENCH_sim.json
 
+echo "== multiapp serve scenario golden =="
+out="$(mktemp -d)"
+cargo run --release -q -p harl-bench --bin harl-cli -- \
+    serve --scenario scenarios/multiapp.json --out "$out/multiapp.json"
+if ! diff -u scenarios/multiapp.golden.json "$out/multiapp.json"; then
+    echo "multiapp serve report diverged from scenarios/multiapp.golden.json" >&2
+    echo "(if the change is intentional, regenerate the golden with the command above)" >&2
+    exit 1
+fi
+python3 - scenarios/multiapp.golden.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["cache_hit_rate"] > 0, "multiapp replay must hit the plan cache"
+assert doc["plans_hit"] + doc["plans_stale"] + doc["plans_miss"] == doc["jobs"], doc
+assert doc["batch_applied"] + doc["batch_coalesced"] == doc["batch_enqueued"], doc
+print("multiapp report matches golden (cache hit rate = %.1f%%)"
+      % (100 * doc["cache_hit_rate"]))
+PY
+rm -rf "$out"
+
+echo "== bench-serve smoke test =="
+out="$(mktemp -d)"
+cargo run --release -q -p harl-bench --bin harl-cli -- \
+    bench-serve --quick --json --out "$out/BENCH_serve.json"
+python3 - "$out/BENCH_serve.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "harl.bench.serve.v1", doc["schema"]
+tiers = doc["tiers"]
+assert [t["tenants"] for t in tiers] == [16, 256, 2048], tiers
+for t in tiers:
+    assert t["submissions"] > 0, t
+    assert t["warm"]["plans_per_s"] > 0 and t["cold"]["plans_per_s"] > 0, t
+    assert t["warm"]["p50_ms"] <= t["warm"]["p99_ms"], t
+assert tiers[0]["warm"]["cache_hit_rate"] > 0.5, \
+    "repeated-workload tier must mostly hit the cache"
+print("bench-serve JSON schema OK")
+PY
+rm -rf "$out"
+
+echo "== bench-serve regression guard =="
+# Full-scale rerun of all three tenant tiers; fails if warm plans/s at any
+# tier drops more than 20% below the committed BENCH_serve.json baseline
+# (or the deterministic submission counts drift, meaning the baseline is
+# stale).
+cargo run --release -q -p harl-bench --bin harl-cli -- \
+    bench-serve --guard BENCH_serve.json
+
 echo "CI OK"

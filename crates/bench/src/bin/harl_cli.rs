@@ -14,9 +14,13 @@
 //! harl-cli bench-planning [--json] [--quick] [--threads T] [--guard baseline.json]
 //!                      [--out path]
 //! harl-cli bench-sim   [--json] [--quick] [--guard baseline.json] [--out path]
+//! harl-cli bench-serve [--json] [--quick] [--threads T] [--guard baseline.json]
+//!                      [--out path]
 //! harl-cli report      <metrics.jsonl>
 //! harl-cli run --scenario scenario.json [--out report.json] [--seed S]
 //!              [--threads T] [--metrics-out metrics.jsonl] [--sample-ms MS]
+//! harl-cli serve --scenario serve.json [--out report.json] [--threads T]
+//!              [--metrics-out metrics.jsonl]
 //! harl-cli lint [--root DIR] [--json]
 //! ```
 //!
@@ -46,7 +50,7 @@ use harl_core::{
 use harl_devices::{CalibrationConfig, OpKind};
 use harl_middleware::{run_workload, CollectiveConfig};
 use harl_pfs::ClusterConfig;
-use harl_repro::scenario::Scenario;
+use harl_repro::scenario::{Scenario, ServeSpec};
 use harl_simcore::metrics::{MemoryRecorder, Recorder};
 use harl_simcore::{registry, ByteSize, SimContext, SimNanos};
 use harl_workloads::replay;
@@ -63,9 +67,12 @@ fn usage() -> ! {
          [--sample-ms MS]\n  \
          harl-cli bench-planning [--json] [--quick] [--threads T] [--guard baseline.json] [--out path]\n  \
          harl-cli bench-sim [--json] [--quick] [--guard baseline.json] [--out path]\n  \
+         harl-cli bench-serve [--json] [--quick] [--threads T] [--guard baseline.json] [--out path]\n  \
          harl-cli report <metrics.jsonl>\n  \
          harl-cli run --scenario scenario.json [--out report.json] [--seed S] [--threads T] \
          [--metrics-out metrics.jsonl] [--sample-ms MS]\n  \
+         harl-cli serve --scenario serve.json [--out report.json] [--threads T] \
+         [--metrics-out metrics.jsonl]\n  \
          harl-cli lint [--root DIR] [--json]"
     );
     std::process::exit(2);
@@ -554,6 +561,74 @@ fn cmd_bench_sim(opts: &Opts) {
     }
 }
 
+fn cmd_bench_serve(opts: &Opts) {
+    use harl_bench::servebench::{run_serve_bench, run_serve_guard, ServeScale};
+    if !opts.positional.is_empty() {
+        usage();
+    }
+    if let Some(path) = &opts.guard {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let baseline: serde_json::Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("baseline {} is not JSON: {e}", path.display());
+            std::process::exit(1);
+        });
+        match run_serve_guard(&baseline) {
+            Ok(lines) => {
+                print!("{lines}");
+                println!("serve throughput within budget of {}", path.display());
+            }
+            Err(msg) => {
+                eprintln!("bench-serve guard: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let scale = if opts.quick {
+        ServeScale::quick()
+    } else {
+        ServeScale::full()
+    };
+    let threads = opts
+        .threads
+        .unwrap_or_else(|| harl_core::OptimizerConfig::default().threads);
+    let doc = run_serve_bench(scale, threads, opts.quick);
+    if let Some(tiers) = doc["tiers"].as_array() {
+        for tier in tiers {
+            println!(
+                "{:>5} tenants  {:>5} subs  warm {:>10.0} plans/s (p50 {:.3} ms, p99 {:.3} ms, \
+                 hit {:.0}%)  cold {:>8.0} plans/s  speedup {:>5.1}x",
+                tier["tenants"].as_u64().unwrap_or(0),
+                tier["submissions"].as_u64().unwrap_or(0),
+                tier["warm"]["plans_per_s"].as_f64().unwrap_or(0.0),
+                tier["warm"]["p50_ms"].as_f64().unwrap_or(0.0),
+                tier["warm"]["p99_ms"].as_f64().unwrap_or(0.0),
+                tier["warm"]["cache_hit_rate"].as_f64().unwrap_or(0.0) * 100.0,
+                tier["cold"]["plans_per_s"].as_f64().unwrap_or(0.0),
+                tier["speedup"].as_f64().unwrap_or(0.0),
+            );
+        }
+    }
+    if opts.json {
+        let path = opts
+            .out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("BENCH_serve.json"));
+        let text = serde_json::to_string_pretty(&doc).unwrap_or_else(|e| {
+            eprintln!("cannot serialise bench doc: {e}");
+            std::process::exit(1);
+        });
+        std::fs::write(&path, text + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("wrote {}", path.display());
+    }
+}
+
 fn cmd_report(opts: &Opts) {
     let [path] = opts.positional.as_slice() else {
         usage()
@@ -633,6 +708,65 @@ fn cmd_run(opts: &Opts) {
     }
 }
 
+fn cmd_serve(opts: &Opts) {
+    if !opts.positional.is_empty() {
+        usage();
+    }
+    let Some(path) = &opts.scenario else { usage() };
+    let spec = ServeSpec::from_path(path).unwrap_or_else(|e| {
+        eprintln!("cannot load serve spec: {e}");
+        std::process::exit(1);
+    });
+    let memory = Arc::new(MemoryRecorder::new());
+    let mut ctx = if opts.metrics_out.is_some() {
+        SimContext::recorded(memory.clone())
+    } else {
+        SimContext::new()
+    };
+    if let Some(threads) = opts.threads {
+        ctx = ctx.with_threads(threads);
+    }
+    let report = spec.run(&ctx).unwrap_or_else(|e| {
+        eprintln!("serve replay failed: {e}");
+        std::process::exit(1);
+    });
+    if let Some(path) = &opts.metrics_out {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        memory
+            .write_jsonl(&mut BufWriter::new(file))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write metrics JSONL: {e}");
+                std::process::exit(1);
+            });
+        println!(
+            "wrote {} metric series to {}",
+            memory.series_count(),
+            path.display()
+        );
+    }
+    let json = report.to_json_pretty();
+    match &opts.out {
+        Some(out) => {
+            std::fs::write(out, json + "\n").unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", out.display());
+                std::process::exit(1);
+            });
+            println!(
+                "{} jobs over {} tenants: {:.0}% cache hits, {} adaptations — wrote {}",
+                report.jobs,
+                report.tenants,
+                report.cache_hit_rate * 100.0,
+                report.adaptations,
+                out.display()
+            );
+        }
+        None => println!("{json}"),
+    }
+}
+
 fn cmd_lint(opts: &Opts) {
     if !opts.positional.is_empty() {
         usage();
@@ -666,8 +800,10 @@ fn main() {
         "simulate" => cmd_simulate(&opts),
         "bench-planning" => cmd_bench_planning(&opts),
         "bench-sim" => cmd_bench_sim(&opts),
+        "bench-serve" => cmd_bench_serve(&opts),
         "report" => cmd_report(&opts),
         "run" => cmd_run(&opts),
+        "serve" => cmd_serve(&opts),
         "lint" => cmd_lint(&opts),
         _ => usage(),
     }

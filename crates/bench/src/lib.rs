@@ -24,6 +24,7 @@ pub mod ablations;
 pub mod figures;
 pub mod harness;
 pub mod planning;
+pub mod servebench;
 pub mod simbench;
 pub mod support;
 

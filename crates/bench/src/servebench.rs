@@ -1,0 +1,370 @@
+//! Planning-service benchmark: end-to-end submission latency of the
+//! multi-tenant front-end (`harl-cli bench-serve`).
+//!
+//! The service's value proposition is that a fleet of tenants mostly
+//! *repeats* workloads, so plan submissions should be answered from the
+//! fingerprint cache (µs) instead of re-running Algorithm 2 (ms). This
+//! bench replays [`TrafficConfig`] schedules at three tenant tiers —
+//! 16 (pure repeats: the steady-state ≥5× acceptance tier), 256 (light
+//! drift) and 2048 (heavy drift) — through two service configurations:
+//!
+//! * **warm** — default cache capacities (the shipping configuration);
+//! * **cold** — both caches disabled, every submission re-plans fully
+//!   (the no-cache baseline the speedup is measured against).
+//!
+//! Reported per tier: p50/p99 submission latency, sustained plans/s for
+//! both modes, the warm/cold speedup and the warm cache hit rate. The
+//! committed baseline is `BENCH_serve.json`; `--guard` re-runs the full
+//! scale and fails CI when warm throughput drops more than
+//! [`GUARD_MAX_DROP_PCT`] below it.
+//!
+//! Wall-clock timing lives here, in the bench crate, because the service
+//! itself is part of the deterministic data path (harl-lint's
+//! determinism rule bans `Instant` below this layer). Traces are built
+//! once per (template, drifted) pair outside the timed loop — the timed
+//! region is exactly fingerprint + cache + (on miss) planning.
+
+use harl_core::{CostModelParams, Trace};
+use harl_middleware::{collect_trace, PlanningService, ServeConfig};
+use harl_pfs::ClusterConfig;
+use harl_simcore::SimContext;
+use harl_workloads::{TrafficConfig, TrafficJob};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Schema tag written into `BENCH_serve.json`; ci.sh greps for it.
+pub const SERVE_SCHEMA: &str = "harl.bench.serve.v1";
+
+/// Maximum tolerated warm-throughput drop versus the committed baseline:
+/// the ci.sh regression guard fails any tier measuring below 80% of
+/// `BENCH_serve.json`.
+pub const GUARD_MAX_DROP_PCT: f64 = 20.0;
+
+/// One tenant tier of the benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeTier {
+    /// Fleet size.
+    pub tenants: usize,
+    /// Distinct job templates across the fleet.
+    pub templates: usize,
+    /// Service ticks replayed.
+    pub ticks: usize,
+    /// Submissions per tick.
+    pub arrivals_per_tick: usize,
+    /// Percent of arrivals that drift their template's tail phase.
+    pub drift_pct: u64,
+}
+
+impl ServeTier {
+    /// Total submissions this tier replays.
+    pub fn submissions(&self) -> usize {
+        self.ticks * self.arrivals_per_tick
+    }
+
+    /// The traffic schedule for this tier.
+    pub fn traffic(&self) -> TrafficConfig {
+        TrafficConfig {
+            tenants: self.tenants,
+            ticks: self.ticks,
+            arrivals_per_tick: self.arrivals_per_tick,
+            templates: self.templates,
+            drift_pct: self.drift_pct,
+            ..TrafficConfig::default()
+        }
+    }
+}
+
+/// Instance sizes for one benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeScale {
+    /// Interleaved repetitions per (tier, mode); best total wall wins.
+    pub reps: usize,
+    /// Arrival-volume multiplier over the quick shape.
+    pub volume: usize,
+}
+
+impl ServeScale {
+    /// Seconds-scale instance for CI smoke tests.
+    pub fn quick() -> Self {
+        ServeScale { reps: 1, volume: 1 }
+    }
+
+    /// The tracked-baseline instance (`BENCH_serve.json`).
+    pub fn full() -> Self {
+        ServeScale { reps: 3, volume: 4 }
+    }
+
+    /// The three tenant tiers at this scale.
+    pub fn tiers(&self) -> Vec<ServeTier> {
+        vec![
+            // The repeated-workload tier: 4 templates, zero drift — after
+            // the first few arrivals every submission is a cache hit.
+            ServeTier {
+                tenants: 16,
+                templates: 4,
+                ticks: 4,
+                arrivals_per_tick: 16 * self.volume,
+                drift_pct: 0,
+            },
+            ServeTier {
+                tenants: 256,
+                templates: 16,
+                ticks: 4,
+                arrivals_per_tick: 24 * self.volume,
+                drift_pct: 10,
+            },
+            ServeTier {
+                tenants: 2048,
+                templates: 32,
+                ticks: 4,
+                arrivals_per_tick: 32 * self.volume,
+                drift_pct: 20,
+            },
+        ]
+    }
+}
+
+/// The paper platform model the service plans against.
+fn serve_model() -> CostModelParams {
+    CostModelParams::from_cluster(&ClusterConfig::paper_default())
+}
+
+/// Traces for a schedule, keyed by what [`TrafficConfig::build_workload`]
+/// is pure in — built once, outside the timed loop.
+fn build_traces(cfg: &TrafficConfig, jobs: &[TrafficJob]) -> BTreeMap<(usize, bool), (Trace, u64)> {
+    let mut traces = BTreeMap::new();
+    for job in jobs {
+        traces
+            .entry((job.template, job.drifted))
+            .or_insert_with(|| {
+                let (workload, file_size) = cfg.build_workload(job);
+                (collect_trace(&workload), file_size)
+            });
+    }
+    traces
+}
+
+/// One timed replay of a schedule through a fresh service. Returns total
+/// wall seconds, per-submission latencies (seconds) and the final stats.
+fn replay_once(
+    ctx: &SimContext,
+    serve_cfg: &ServeConfig,
+    jobs: &[TrafficJob],
+    traces: &BTreeMap<(usize, bool), (Trace, u64)>,
+) -> (f64, Vec<f64>, harl_middleware::ServeStats) {
+    let mut svc = PlanningService::new(serve_model(), serve_cfg.clone());
+    let mut latencies = Vec::with_capacity(jobs.len());
+    let start = Instant::now();
+    for job in jobs {
+        let Some((trace, file_size)) = traces.get(&(job.template, job.drifted)) else {
+            continue;
+        };
+        let t0 = Instant::now();
+        let ticket = svc.submit(ctx, job.tenant, trace, *file_size);
+        latencies.push(t0.elapsed().as_secs_f64());
+        assert!(!ticket.rst.is_empty());
+    }
+    let wall = start.elapsed().as_secs_f64();
+    (wall, latencies, svc.stats())
+}
+
+/// `q` ∈ [0, 1] percentile of an unsorted latency sample (nearest-rank on
+/// the sorted copy; 0.0 for an empty sample).
+fn percentile(latencies: &[f64], q: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Best-of-`reps` replay of one (tier, mode); keeps the run with the
+/// lowest total wall.
+fn bench_mode(
+    ctx: &SimContext,
+    serve_cfg: &ServeConfig,
+    jobs: &[TrafficJob],
+    traces: &BTreeMap<(usize, bool), (Trace, u64)>,
+    reps: usize,
+) -> (f64, Vec<f64>, harl_middleware::ServeStats) {
+    let mut best: Option<(f64, Vec<f64>, harl_middleware::ServeStats)> = None;
+    for _ in 0..reps.max(1) {
+        let run = replay_once(ctx, serve_cfg, jobs, traces);
+        if best.as_ref().is_none_or(|b| run.0 < b.0) {
+            best = Some(run);
+        }
+    }
+    // reps >= 1, so a run always exists.
+    best.unwrap_or((0.0, Vec::new(), harl_middleware::ServeStats::default()))
+}
+
+/// Run every tier in both modes, returning the `BENCH_serve.json`
+/// document.
+pub fn run_serve_bench(scale: ServeScale, threads: usize, quick: bool) -> Value {
+    let ctx = SimContext::new().with_threads(threads);
+    let warm_cfg = ServeConfig::default();
+    let cold_cfg = ServeConfig {
+        plan_cache_capacity: 0,
+        region_cache_capacity: 0,
+        ..ServeConfig::default()
+    };
+    let mut tiers = Vec::new();
+    for tier in scale.tiers() {
+        let traffic = tier.traffic();
+        let jobs = traffic.jobs();
+        let traces = build_traces(&traffic, &jobs);
+        let (warm_wall, warm_lat, warm_stats) =
+            bench_mode(&ctx, &warm_cfg, &jobs, &traces, scale.reps);
+        let (cold_wall, _, _) = bench_mode(&ctx, &cold_cfg, &jobs, &traces, scale.reps);
+        let n = jobs.len() as f64;
+        let warm_pps = n / warm_wall.max(1e-12);
+        let cold_pps = n / cold_wall.max(1e-12);
+        tiers.push(json!({
+            "tenants": tier.tenants,
+            "templates": tier.templates,
+            "drift_pct": tier.drift_pct,
+            "submissions": jobs.len(),
+            "warm": json!({
+                "wall_s": warm_wall,
+                "plans_per_s": warm_pps,
+                "p50_ms": percentile(&warm_lat, 0.50) * 1e3,
+                "p99_ms": percentile(&warm_lat, 0.99) * 1e3,
+                "cache_hit_rate": warm_stats.cache.hit_rate(),
+                "regions_reused": warm_stats.regions_reused,
+                "regions_planned": warm_stats.regions_planned,
+            }),
+            "cold": json!({
+                "wall_s": cold_wall,
+                "plans_per_s": cold_pps,
+            }),
+            "speedup": warm_pps / cold_pps.max(1e-12),
+        }));
+    }
+    json!({
+        "schema": SERVE_SCHEMA,
+        "mode": if quick { "quick" } else { "full" },
+        "threads": threads,
+        "tiers": Value::Array(tiers),
+    })
+}
+
+/// The ci.sh serve regression guard (`harl-cli bench-serve --guard`).
+///
+/// Re-runs the full scale and compares warm plans/s per tier against the
+/// committed `BENCH_serve.json`: submission counts must match exactly (a
+/// drift means the schedule changed — regenerate the baseline), and each
+/// tier's warm throughput must stay within [`GUARD_MAX_DROP_PCT`].
+/// Returns one summary line per tier on success.
+pub fn run_serve_guard(baseline: &Value) -> Result<String, String> {
+    let threads = usize::try_from(baseline["threads"].as_u64().unwrap_or(1)).unwrap_or(1);
+    let scale = ServeScale::full();
+    let expected = scale.tiers();
+    let empty = Vec::new();
+    let base_tiers = baseline["tiers"].as_array().unwrap_or(&empty);
+    if base_tiers.len() != expected.len() {
+        return Err(format!(
+            "baseline has {} tiers but this build measures {}; \
+             regenerate BENCH_serve.json",
+            base_tiers.len(),
+            expected.len()
+        ));
+    }
+    // Validate the baseline against the deterministic schedule before
+    // spending wall time measuring.
+    for (base, tier) in base_tiers.iter().zip(&expected) {
+        let tenants = base["tenants"].as_u64().unwrap_or(0);
+        let base_subs = base["submissions"].as_u64().unwrap_or(0);
+        if tenants != tier.tenants as u64 || base_subs != tier.submissions() as u64 {
+            return Err(format!(
+                "this build replays {} submissions for tier {} but the baseline \
+                 records {base_subs} for tier {tenants}; the schedule changed — \
+                 regenerate BENCH_serve.json",
+                tier.submissions(),
+                tier.tenants
+            ));
+        }
+        if base["warm"]["plans_per_s"].as_f64().unwrap_or(0.0) <= 0.0 {
+            return Err(format!(
+                "baseline tier {tenants} is missing warm plans_per_s; \
+                 regenerate BENCH_serve.json"
+            ));
+        }
+    }
+    let measured = run_serve_bench(scale, threads, false);
+    let meas_tiers = measured["tiers"].as_array().unwrap_or(&empty);
+    let mut lines = String::new();
+    let mut breaches = Vec::new();
+    for (base, meas) in base_tiers.iter().zip(meas_tiers) {
+        let tenants = base["tenants"].as_u64().unwrap_or(0);
+        let base_pps = base["warm"]["plans_per_s"].as_f64().unwrap_or(0.0);
+        let meas_pps = meas["warm"]["plans_per_s"].as_f64().unwrap_or(0.0);
+        let drop = 100.0 * (1.0 - meas_pps / base_pps);
+        lines.push_str(&format!(
+            "{tenants:>5} tenants  {meas_pps:>12.0} plans/s  (baseline {base_pps:>12.0}, \
+             {drop:+.1}% drop)\n"
+        ));
+        if drop > GUARD_MAX_DROP_PCT {
+            breaches.push(format!(
+                "tier {tenants} dropped {drop:.1}% below the baseline ({meas_pps:.0} vs \
+                 {base_pps:.0} plans/s, budget {GUARD_MAX_DROP_PCT}%)"
+            ));
+        }
+    }
+    if breaches.is_empty() {
+        Ok(lines)
+    } else {
+        Err(breaches.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_produces_the_schema_with_three_tiers() {
+        let doc = run_serve_bench(ServeScale::quick(), 1, true);
+        assert_eq!(doc["schema"].as_str(), Some(SERVE_SCHEMA));
+        let tiers = doc["tiers"].as_array().map(Vec::len);
+        assert_eq!(tiers, Some(3));
+    }
+
+    #[test]
+    fn repeated_workload_tier_hits_the_cache_hard() {
+        let scale = ServeScale::quick();
+        let tier = scale.tiers()[0];
+        let traffic = tier.traffic();
+        let jobs = traffic.jobs();
+        let traces = build_traces(&traffic, &jobs);
+        let ctx = SimContext::new();
+        let (_, _, stats) = replay_once(&ctx, &ServeConfig::default(), &jobs, &traces);
+        // 4 templates, no drift: at most 4 distinct fingerprints miss.
+        assert!(
+            stats.cache.hit_rate() > 0.9,
+            "expected >90% hit rate, got {:.2}",
+            stats.cache.hit_rate()
+        );
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let lat = [0.004, 0.001, 0.002, 0.003];
+        assert_eq!(percentile(&lat, 0.0), 0.001);
+        assert_eq!(percentile(&lat, 1.0), 0.004);
+        assert_eq!(percentile(&lat, 0.5), 0.003);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn guard_rejects_a_schedule_change() {
+        // A quick-scale baseline replays far fewer submissions than the
+        // full schedule the guard validates against, so the guard must
+        // refuse before spending wall time measuring.
+        let baseline = run_serve_bench(ServeScale::quick(), 1, true);
+        let err = run_serve_guard(&baseline).unwrap_err();
+        assert!(err.contains("regenerate BENCH_serve.json"), "{err}");
+    }
+}

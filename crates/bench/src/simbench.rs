@@ -19,6 +19,12 @@
 //!   reported separately as `traced_overhead_pct` — it buys a Chrome
 //!   trace of every request and is priced accordingly, with no budget.
 //!
+//! Overhead percentages are clamped at 0: on small tiers the best-of
+//! walls sit within scheduler jitter of each other, and a recorded run
+//! can measure marginally *faster* than the no-op run. A negative delta
+//! is noise, not a speedup, so the tier reports 0 with `"noise": true`
+//! rather than committing a nonsense negative baseline.
+//!
 //! The tiers scale along two axes, not one. `servers` widens the cluster
 //! (per-request fan-out equals the server count, so wide tiers stress the
 //! fan-out batch path), while `clients` deepens the queues: each client
@@ -226,8 +232,15 @@ pub fn run_sim_bench(scale: SimScale, quick: bool) -> Value {
                 },
             ],
         );
-        let overhead_pct = (recorded_wall - noop_wall) / noop_wall.max(1e-12) * 100.0;
-        let traced_pct = (traced_wall - noop_wall) / noop_wall.max(1e-12) * 100.0;
+        // Best-of walls are noisy enough that the recorded run can
+        // occasionally beat the no-op run on small tiers; a negative
+        // overhead is measurement noise, not a speedup. Clamp to 0 and
+        // flag the sample so the committed baseline stays meaningful.
+        let raw_overhead_pct = (recorded_wall - noop_wall) / noop_wall.max(1e-12) * 100.0;
+        let raw_traced_pct = (traced_wall - noop_wall) / noop_wall.max(1e-12) * 100.0;
+        let noisy = raw_overhead_pct < 0.0 || raw_traced_pct < 0.0;
+        let overhead_pct = raw_overhead_pct.max(0.0);
+        let traced_pct = raw_traced_pct.max(0.0);
         max_overhead = max_overhead.max(overhead_pct);
 
         let rpc = scale.requests_per_client(tier);
@@ -246,6 +259,7 @@ pub fn run_sim_bench(scale: SimScale, quick: bool) -> Value {
             "events_per_s": events as f64 / noop_wall.max(1e-12),
             "recorder_overhead_pct": overhead_pct,
             "traced_overhead_pct": traced_pct,
+            "noise": noisy,
         }));
     }
     json!({

@@ -33,9 +33,11 @@
 // type-aware clippy checks.
 #[warn(clippy::float_cmp, clippy::cast_possible_truncation)]
 pub mod analysis;
+pub mod cache;
 pub(crate) mod cast;
 pub mod compat;
 pub mod errors;
+pub mod fingerprint;
 pub mod migration;
 #[warn(clippy::float_cmp, clippy::cast_possible_truncation)]
 pub mod model;
@@ -49,7 +51,14 @@ pub mod rst;
 pub mod trace;
 
 pub use analysis::{size_histogram, summarize, summarize_records, TraceSummary};
+pub use cache::{
+    plan_file, plan_file_with, CacheLookup, CacheStats, CachedPlan, PlanCache, PlanReuse,
+    PlannedFile, RegionPlanCache, RegionPlanKey, SampledReq,
+};
 pub use errors::LoadError;
+pub use fingerprint::{
+    fingerprint_sorted, ClassShape, HistBucket, RegionSignature, WorkloadFingerprint,
+};
 pub use migration::{projected_sserver_bytes, BalanceOutcome, SpaceBalancer};
 pub use model::{case_a_params, server_loads, server_loads_scan, CostModelParams, ServerLoads};
 pub use multiprofile::{ClassParams, MultiProfileModel, MultiProfileOptimizer};

@@ -14,8 +14,9 @@
 //! re-striped) so a policy layer can decide whether the remaining horizon
 //! amortises it.
 
+use crate::cache::RegionPlanCache;
 use crate::multiprofile::MultiProfileModel;
-use crate::optimizer::{OptimizerConfig, RegionRequests};
+use crate::optimizer::{LayoutChoice, OptimizerConfig, RegionRequests};
 use crate::rst::RegionStripeTable;
 use crate::trace::TraceRecord;
 use harl_simcore::{registry, OnlineStats, SimContext};
@@ -123,6 +124,10 @@ pub struct OnlineMonitor {
     regions: Vec<RegionState>,
     seen_in_window: usize,
     ctx: SimContext,
+    /// Optional pool of per-region grid results: re-plans whose exact
+    /// search input was seen before skip Algorithm 2 (incremental
+    /// re-planning, bit-identical by construction — see [`crate::cache`]).
+    region_cache: Option<RegionPlanCache>,
 }
 
 impl std::fmt::Debug for OnlineMonitor {
@@ -167,7 +172,27 @@ impl OnlineMonitor {
             regions,
             seen_in_window: 0,
             ctx: SimContext::new(),
+            region_cache: None,
         }
+    }
+
+    /// Attach a per-region grid-result cache of the given capacity
+    /// (capacity 0 leaves re-planning uncached). Cached results make
+    /// repeat drifts — the same observed pattern on any region — skip the
+    /// grid search; adopted layouts stay bit-identical to the uncached
+    /// monitor because the cache key is the exact search input.
+    pub fn with_region_cache(mut self, capacity: usize) -> Self {
+        self.region_cache = if capacity > 0 {
+            Some(RegionPlanCache::new(capacity))
+        } else {
+            None
+        };
+        self
+    }
+
+    /// `(hits, misses)` of the attached region cache, if any.
+    pub fn region_cache_stats(&self) -> Option<(u64, u64)> {
+        self.region_cache.as_ref().map(RegionPlanCache::stats)
     }
 
     /// Attach a [`SimContext`]. Residuals, drift histograms and adaptation
@@ -313,9 +338,29 @@ impl OnlineMonitor {
             });
         }
 
-        // Pass 2: Algorithm 2 on each confirmed region, fanned out across
-        // the thread budget (region-level; the inner grid search goes
-        // sequential whenever the outer fan-out is active).
+        // Pass 2a (sequential; only when a region cache is attached):
+        // compute each job's exact-search-input key and consult the cache.
+        // Lookups run before the fan-out so LRU bookkeeping stays
+        // deterministic at any thread count.
+        let keys: Vec<crate::cache::RegionPlanKey> = if self.region_cache.is_some() {
+            jobs.iter()
+                .map(|job| {
+                    let reqs = RegionRequests::new(&job.sorted, job.entry.offset);
+                    crate::cache::region_plan_key(&reqs, job.observed_avg, &self.cfg.optimizer)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let cached: Vec<Option<LayoutChoice>> = match self.region_cache.as_mut() {
+            Some(cache) => keys.iter().map(|k| cache.get(k)).collect(),
+            None => jobs.iter().map(|_| None).collect(),
+        };
+
+        // Pass 2b: Algorithm 2 on each confirmed region (cache hits clone
+        // the stored choice instead), fanned out across the thread budget
+        // (region-level; the inner grid search goes sequential whenever
+        // the outer fan-out is active).
         let budget = self.ctx.threads_or(self.cfg.optimizer.threads);
         let outer = budget.min(jobs.len().max(1));
         let inner = OptimizerConfig {
@@ -327,20 +372,32 @@ impl OnlineMonitor {
         let outcomes = crate::optimizer::fan_out(jobs.len(), outer, |i| {
             let job = &jobs[i];
             let reqs = RegionRequests::new(&job.sorted, job.entry.offset);
-            let choice = crate::optimizer::optimize_region(
-                ctx,
-                model,
-                &reqs,
-                job.observed_avg,
-                &inner,
-                job.region,
-            );
+            let choice = match &cached[i] {
+                Some(choice) => choice.clone(),
+                None => crate::optimizer::optimize_region(
+                    ctx,
+                    model,
+                    &reqs,
+                    job.observed_avg,
+                    &inner,
+                    job.region,
+                ),
+            };
             // Predicted per-request saving under the new widths.
             let old_cost =
                 reqs.cost_of_widths(model, job.entry.widths(), inner.max_requests_per_eval);
             let new_cost = reqs.cost_of_widths(model, &choice.widths, inner.max_requests_per_eval);
             (choice, old_cost, new_cost)
         });
+
+        // Pass 2c (sequential): bank freshly computed grid results.
+        if let Some(cache) = self.region_cache.as_mut() {
+            for (i, (choice, _, _)) in outcomes.iter().enumerate() {
+                if cached[i].is_none() {
+                    cache.insert(keys[i].clone(), choice.clone());
+                }
+            }
+        }
 
         // Pass 3 (sequential, region order): adopt the new layouts.
         let mut events = Vec::new();
@@ -550,6 +607,71 @@ mod tests {
             assert_eq!(events, ref_events, "events changed with {threads} threads");
             assert_eq!(entries, ref_entries);
         }
+    }
+
+    #[test]
+    fn region_cached_monitor_matches_uncached_bitwise() {
+        // The same drifting stream through a cached and an uncached
+        // monitor must produce identical events and identical adopted
+        // tables — the cache may only skip work, never change it.
+        let run = |cache: usize| {
+            let rst = crate::rst::RegionStripeTable::new(vec![
+                crate::rst::RstEntry::two(0, 512 << 20, 32 * KB, 160 * KB),
+                crate::rst::RstEntry::two(512 << 20, 512 << 20, 32 * KB, 160 * KB),
+            ]);
+            let cfg = OnlineConfig {
+                window: 64,
+                patience: 2,
+                ..OnlineConfig::default()
+            };
+            let mut m = OnlineMonitor::new(model(), rst, vec![512 * KB, 512 * KB], cfg)
+                .with_region_cache(cache);
+            let mut events = Vec::new();
+            for i in 0..512u64 {
+                events.extend(m.observe(rec((i * 128 * KB) % (256 << 20), 128 * KB)));
+                events.extend(m.observe(rec((512 << 20) + (i * 64 * KB) % (128 << 20), 64 * KB)));
+            }
+            (events, m.current_rst().entries().to_vec())
+        };
+        let (ref_events, ref_entries) = run(0);
+        assert!(!ref_events.is_empty(), "test needs at least one re-plan");
+        let (events, entries) = run(64);
+        assert_eq!(events, ref_events);
+        assert_eq!(entries, ref_entries);
+    }
+
+    #[test]
+    fn repeat_drift_pattern_hits_the_region_cache() {
+        // Region 0 drifts first; region 1 then drifts with the *same*
+        // region-relative pattern. The second re-plan's search input
+        // equals the first's, so it must come from the cache.
+        let rst = crate::rst::RegionStripeTable::new(vec![
+            crate::rst::RstEntry::two(0, 512 << 20, 32 * KB, 160 * KB),
+            crate::rst::RstEntry::two(512 << 20, 512 << 20, 32 * KB, 160 * KB),
+        ]);
+        let cfg = OnlineConfig {
+            window: 64,
+            patience: 1,
+            ..OnlineConfig::default()
+        };
+        let mut m =
+            OnlineMonitor::new(model(), rst, vec![512 * KB, 512 * KB], cfg).with_region_cache(64);
+        let mut events = Vec::new();
+        for i in 0..64u64 {
+            events.extend(m.observe(rec((i % 32) * 128 * KB, 128 * KB)));
+        }
+        for i in 0..64u64 {
+            events.extend(m.observe(rec((512 << 20) + (i % 32) * 128 * KB, 128 * KB)));
+        }
+        assert_eq!(events.len(), 2, "both regions should adapt");
+        assert_eq!(events[0].new, events[1].new);
+        assert_eq!(
+            m.region_cache_stats(),
+            Some((1, 1)),
+            "second re-plan must be a cache hit"
+        );
+        let entries = m.current_rst().entries();
+        assert_eq!(entries[0].widths(), entries[1].widths());
     }
 
     #[test]

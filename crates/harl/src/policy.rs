@@ -18,7 +18,7 @@
 
 use crate::multiprofile::MultiProfileModel;
 use crate::optimizer::{optimize_region, OptimizerConfig, RegionRequests};
-use crate::region::{divide_regions, RegionDivisionConfig};
+use crate::region::RegionDivisionConfig;
 use crate::rst::{RegionStripeTable, RstEntry};
 use crate::trace::Trace;
 use harl_simcore::{SimContext, SimRng};
@@ -275,31 +275,18 @@ impl HarlPolicy {
 impl LayoutPolicy for HarlPolicy {
     fn plan(&self, ctx: &SimContext, trace: &Trace, file_size: u64) -> RegionStripeTable {
         let sorted = trace.sorted_by_offset();
-        let regions = divide_regions(&sorted, file_size, &self.division);
-        // One thread budget for the whole plan (the context override, else
-        // the policy's own config): with several regions the fan-out is
-        // region-level (coarse, cache-friendly) and each region's grid
-        // search runs sequentially; a single region keeps the budget for
-        // its inner grid chunking. Either way each region's result is
-        // computed independently and lands in its own slot, so the table is
-        // identical for every thread count.
-        let budget = ctx.threads_or(self.optimizer.threads);
-        let outer = budget.min(regions.len().max(1));
-        let inner = OptimizerConfig {
-            threads: if outer > 1 { 1 } else { budget },
-            ..self.optimizer.clone()
-        };
-        let entries = crate::optimizer::fan_out(regions.len(), outer, |i| {
-            let region = &regions[i];
-            let records = &sorted[region.first_request..region.last_request];
-            let reqs = RegionRequests::new(records, region.offset);
-            let choice =
-                optimize_region(ctx, &self.model, &reqs, region.avg_request_size, &inner, i);
-            RstEntry::new(region.offset, region.len(), choice.widths)
-        });
-        let mut table = RegionStripeTable::new(entries);
-        table.merge_adjacent();
-        table
+        // The shared whole-file pipeline; `reuse = None` is the exact
+        // pre-cache planning path (no fingerprinting, no key computation).
+        crate::cache::plan_file(
+            ctx,
+            &self.model,
+            &sorted,
+            file_size,
+            &self.division,
+            &self.optimizer,
+            None,
+        )
+        .rst
     }
 
     fn label(&self) -> String {

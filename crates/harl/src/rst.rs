@@ -236,6 +236,29 @@ impl RegionStripeTable {
         self.entries[region].widths = widths;
     }
 
+    /// Apply a batch of per-region width updates in one pass, in the given
+    /// (canonical) order. Updates whose widths equal the row's current
+    /// widths are skipped as no-ops; the return value is the number of
+    /// rows actually rewritten. This is the planning service's tick-time
+    /// apply: per-tenant churn is coalesced upstream so the table is
+    /// touched O(dirty regions) times, not O(tenants × regions).
+    ///
+    /// # Panics
+    /// Panics on the same invariant violations as
+    /// [`set_region_widths`](Self::set_region_widths) (all-zero widths or
+    /// a class-count change).
+    pub fn apply_batch(&mut self, updates: &[(usize, Vec<u64>)]) -> usize {
+        let mut applied = 0;
+        for (region, widths) in updates {
+            if self.entries[*region].widths() == widths.as_slice() {
+                continue;
+            }
+            self.set_region_widths(*region, widths.clone());
+            applied += 1;
+        }
+        applied
+    }
+
     /// Index of the region containing `offset`.
     ///
     /// Offsets past the end fall into the last region (files can grow; the
@@ -434,6 +457,19 @@ mod tests {
     #[should_panic(expected = "no capacity")]
     fn set_region_widths_rejects_zero() {
         table().set_region_widths(0, vec![0, 0]);
+    }
+
+    #[test]
+    fn apply_batch_skips_noops_and_counts_rewrites() {
+        let mut t = table();
+        let current = t.entries()[0].widths().to_vec();
+        let applied = t.apply_batch(&[
+            (0, current), // no-op: row already carries these widths
+            (1, vec![40 * 1024, 160 * 1024]),
+            (1, vec![48 * 1024, 192 * 1024]), // later update wins
+        ]);
+        assert_eq!(applied, 2);
+        assert_eq!(t.entries()[1].widths(), &[48 * 1024, 192 * 1024]);
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //! pattern + reason); unused entries are reported as `stale-allow` so the
 //! allowlist ratchets down, never silently up.
 
+// missing_docs / rust_2018_idioms come from [workspace.lints]. The
+// cfg_attr tier mirrors this crate's own panic-hygiene rule at compile
+// time; unit tests compile under cfg(test) and stay exempt.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod allow;
 pub mod lexer;
 pub mod rules;

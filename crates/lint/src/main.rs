@@ -1,6 +1,13 @@
 //! The `harl-lint` binary: lint the workspace, print findings, exit
 //! non-zero on any non-allowlisted violation. See DESIGN.md Appendix D.
 
+// Bin-crate panic hygiene: failures exit with a message, never a
+// backtrace. Mirrors the library tier (see lib.rs).
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 

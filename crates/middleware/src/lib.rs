@@ -12,6 +12,9 @@
 //! * [`runtime`] — trace collection (Tracing Phase), logical→physical
 //!   translation (the modified `MPI_File_read/write`), and end-to-end
 //!   execution of a workload under any layout policy.
+//! * [`serve`] — the long-running multi-tenant planning service
+//!   (fingerprint plan cache, incremental re-planning, batched RST
+//!   updates) behind `harl-cli serve`.
 
 // missing_docs / rust_2018_idioms come from [workspace.lints]. The
 // cfg_attr tier mirrors harl-lint's panic-hygiene rule at compile time
@@ -26,6 +29,7 @@ pub mod logical;
 pub mod multiapp;
 pub mod placement;
 pub mod runtime;
+pub mod serve;
 
 pub use collective::{plan_collective, CollectiveConfig, CollectivePlan};
 pub use logical::{LogicalRequest, LogicalStep, RankProgram, Workload};
@@ -34,3 +38,4 @@ pub use placement::{bytes_per_server, place, PlacedFile, R2f};
 pub use runtime::{
     collect_trace, collect_trace_lowered, run_workload, trace_plan_run, translate_workload,
 };
+pub use serve::{PlanOutcome, PlanTicket, PlanningService, ServeConfig, ServeStats, TickReport};

@@ -216,6 +216,51 @@ metrics! {
     /// free on-prem).
     HARL_PLAN_COST_USD = ("harl.plan.cost_usd", Gauge, Dollars,
         "projected monthly dollar cost of the adopted layout plan");
+    /// Plan-cache lookups answered from a live cached plan.
+    HARL_CACHE_HITS = ("harl.cache.hits", Counter, Count,
+        "workload-fingerprint plan-cache hits");
+    /// Plan-cache lookups that found nothing reusable.
+    HARL_CACHE_MISSES = ("harl.cache.misses", Counter, Count,
+        "workload-fingerprint plan-cache misses");
+    /// Plan-cache lookups that found an invalidated entry (its per-region
+    /// grid results are still recycled).
+    HARL_CACHE_STALE = ("harl.cache.stale", Counter, Count,
+        "workload-fingerprint plan-cache stale hits");
+    /// Plans evicted by the deterministic LRU when the cache is full.
+    HARL_CACHE_EVICTIONS = ("harl.cache.evictions", Counter, Count,
+        "plan-cache LRU evictions");
+    /// Current number of cached whole-file plans.
+    HARL_CACHE_SIZE = ("harl.cache.size", Gauge, Count,
+        "cached whole-file plans resident in the plan cache");
+    /// Per-region grid results reused from the region plan cache.
+    HARL_CACHE_REGION_HITS = ("harl.cache.region_hits", Counter, Count,
+        "per-region grid results reused from the region plan cache");
+    /// Per-region grid searches that had to run (region-cache misses).
+    HARL_CACHE_REGION_MISSES = ("harl.cache.region_misses", Counter, Count,
+        "per-region grid searches not answerable from the region cache");
+
+    // --- mw.serve.* — multi-tenant planning service ----------------------
+    /// Plan requests served, labelled by `outcome` (hit/stale/miss).
+    MW_SERVE_PLANS = ("mw.serve.plans", Counter, Count,
+        "tenant plan submissions served by the planning service");
+    /// Service ticks executed (one batched RST apply each).
+    MW_SERVE_TICKS = ("mw.serve.ticks", Counter, Count,
+        "planning-service ticks (one batched table apply per tick)");
+    /// Regions whose grid result was reused instead of recomputed.
+    MW_SERVE_REGIONS_REUSED = ("mw.serve.regions_reused", Counter, Count,
+        "regions planned by reusing a cached grid result");
+    /// Regions whose grid search actually ran.
+    MW_SERVE_REGIONS_PLANNED = ("mw.serve.regions_planned", Counter, Count,
+        "regions planned by running the grid search");
+    /// Per-region RST writes applied by the batched tick path.
+    MW_SERVE_BATCH_APPLIED = ("mw.serve.batch_applied", Counter, Count,
+        "region stripe-table writes applied at tick boundaries");
+    /// Pending RST writes coalesced away (superseded or no-op) before apply.
+    MW_SERVE_BATCH_COALESCED = ("mw.serve.batch_coalesced", Counter, Count,
+        "pending region writes coalesced away by tick batching");
+    /// Tenants with an active placed file.
+    MW_SERVE_TENANTS = ("mw.serve.tenants", Gauge, Count,
+        "tenants currently tracked by the planning service");
 }
 
 /// Look up a metric declaration by name.

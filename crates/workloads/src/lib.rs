@@ -20,8 +20,10 @@ pub mod btio;
 pub mod ior;
 pub mod phased;
 pub mod replay;
+pub mod traffic;
 
 pub use btio::BtioConfig;
 pub use ior::{AccessOrder, IorConfig, MultiRegionIorConfig};
 pub use phased::{Phase, PhasedConfig};
 pub use replay::replay;
+pub use traffic::{TrafficConfig, TrafficJob};

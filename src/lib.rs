@@ -29,9 +29,17 @@
 //! let (rst, report) = trace_plan_run(
 //!     &SimContext::new(), &cluster, &policy, &workload,
 //!     &CollectiveConfig::default());
-//! assert!(rst.len() >= 1);
+//! assert!(!rst.is_empty());
 //! assert!(report.throughput_mib_s() > 0.0);
 //! ```
+
+// missing_docs / rust_2018_idioms come from [workspace.lints]. The
+// cfg_attr tier mirrors harl-lint's panic-hygiene rule at compile time
+// for library code; unit tests compile under cfg(test) and stay exempt.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub use harl_core as harl;
 pub use harl_devices as devices;
@@ -45,8 +53,8 @@ pub mod scenario;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use crate::scenario::{
-        ClusterSpec, FaultSpec, HybridCluster, PolicySpec, Scenario, ScenarioReport, TierSpec,
-        TieredCluster, WorkloadSpec,
+        ClusterSpec, FaultSpec, HybridCluster, PolicySpec, Scenario, ScenarioReport, ServeReport,
+        ServeSpec, TierSpec, TieredCluster, WorkloadSpec,
     };
     pub use harl_core::{
         CostModelParams, FixedPolicy, HarlPolicy, LayoutPolicy, LoadError, MultiProfileModel,
@@ -61,7 +69,8 @@ pub mod prelude {
     };
     pub use harl_middleware::{
         collect_trace, collect_trace_lowered, run_shared, run_workload, trace_plan_run,
-        CollectiveConfig, LogicalRequest, RankProgram, Workload,
+        CollectiveConfig, LogicalRequest, PlanOutcome, PlanningService, RankProgram, ServeConfig,
+        ServeStats, Workload,
     };
     pub use harl_pfs::{
         simulate, ClientProgram, ClusterConfig, Degradation, FileLayout, PhysRequest, SimReport,
@@ -73,4 +82,5 @@ pub mod prelude {
     pub use harl_workloads::{
         replay, AccessOrder, BtioConfig, IorConfig, MultiRegionIorConfig, Phase, PhasedConfig,
     };
+    pub use harl_workloads::{TrafficConfig, TrafficJob};
 }

@@ -28,15 +28,20 @@
 use harl_core::errors::LoadError;
 use harl_core::{
     FixedPolicy, HarlPolicy, LayoutPolicy, MultiProfileModel, RandomPolicy, RegionStripeTable,
-    SegmentPolicy, ServerLevelPolicy, Trace,
+    SegmentPolicy, ServerLevelPolicy, Trace, TraceRecord,
 };
 use harl_devices::{
-    hdd_2015_preset, nvme_2020_preset, object_store_preset, ssd_2015_preset, StorageProfile,
+    hdd_2015_preset, nvme_2020_preset, object_store_preset, ssd_2015_preset, OpKind, StorageProfile,
 };
-use harl_middleware::{trace_plan_run, CollectiveConfig, Workload};
+use harl_middleware::{
+    collect_trace, trace_plan_run, CollectiveConfig, PlanOutcome, PlanningService, ServeConfig,
+    Workload,
+};
 use harl_pfs::{ClusterConfig, ServerClass, SimReport};
 use harl_simcore::{registry, Degradation, SimContext, SimNanos};
-use harl_workloads::{replay, BtioConfig, IorConfig, MultiRegionIorConfig, PhasedConfig};
+use harl_workloads::{
+    replay, BtioConfig, IorConfig, MultiRegionIorConfig, PhasedConfig, TrafficConfig,
+};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -268,7 +273,8 @@ impl Scenario {
 
     /// Serialise as pretty JSON.
     pub fn to_json_pretty(&self) -> String {
-        serde_json::to_string_pretty(self).expect("scenario serialisation cannot fail")
+        // The vendored serialiser is infallible; Err is unreachable.
+        serde_json::to_string_pretty(self).unwrap_or_default()
     }
 
     /// Parse from JSON and validate.
@@ -657,7 +663,240 @@ impl Deserialize for ScenarioReport {
 impl ScenarioReport {
     /// Serialise as pretty JSON (the CLI/CI output format).
     pub fn to_json_pretty(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+        // The vendored serialiser is infallible; Err is unreachable.
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Parse a report back from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// A multi-tenant planning-service experiment: seeded heavy-tailed
+/// traffic ([`TrafficConfig`]) replayed through a
+/// [`PlanningService`], one spec file per fleet. This is what
+/// `harl-cli serve --scenario` runs and what
+/// `scenarios/multiapp.json` pins in CI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSpec {
+    /// Human-readable name, echoed into the report.
+    #[serde(default)]
+    pub name: String,
+    /// The cluster whose model the service plans against (default: the
+    /// paper's testbed).
+    #[serde(default)]
+    pub cluster: ClusterSpec,
+    /// The arrival schedule — the only mandatory field.
+    pub traffic: TrafficConfig,
+    /// Service tuning (cache capacities, division/optimizer/online).
+    #[serde(default)]
+    pub serve: ServeConfig,
+    /// Planner thread budget override.
+    #[serde(default)]
+    pub threads: Option<usize>,
+}
+
+impl ServeSpec {
+    /// A spec running `traffic` with default service tuning on the
+    /// paper's cluster.
+    pub fn new(traffic: TrafficConfig) -> Self {
+        ServeSpec {
+            name: String::new(),
+            cluster: ClusterSpec::default(),
+            traffic,
+            serve: ServeConfig::default(),
+            threads: None,
+        }
+    }
+
+    /// Serialise as pretty JSON.
+    pub fn to_json_pretty(&self) -> String {
+        // The vendored serialiser is infallible; Err is unreachable.
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Parse from JSON and validate.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let s: ServeSpec = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// Load from a JSON file and validate, with descriptive errors.
+    pub fn from_path(path: &Path) -> Result<Self, LoadError> {
+        let s: ServeSpec = harl_core::errors::read_json(path)?;
+        s.validate()
+            .map_err(|reason| LoadError::whole_file(path, reason))?;
+        Ok(s)
+    }
+
+    /// Check the spec describes a runnable fleet.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.traffic.tenants == 0 {
+            return Err("traffic needs at least one tenant".into());
+        }
+        if self.traffic.templates == 0 {
+            return Err("traffic needs at least one template".into());
+        }
+        if self.traffic.processes == 0 {
+            return Err("traffic needs at least one process per job".into());
+        }
+        if self.traffic.drift_pct > 100 {
+            return Err("drift_pct is a percentage (0-100)".into());
+        }
+        if self.serve.online.window == 0 {
+            return Err("online window must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Build the cluster the service models.
+    pub fn build_cluster(&self) -> ClusterConfig {
+        // Reuse the Scenario materialisation (same ClusterSpec).
+        Scenario {
+            name: String::new(),
+            cluster: self.cluster.clone(),
+            workload: WorkloadSpec::Ior(IorConfig::paper_default(OpKind::Read, 1 << 20)),
+            policy: PolicySpec::default(),
+            faults: Vec::new(),
+            seed: None,
+            threads: None,
+            collective: None,
+        }
+        .build_cluster()
+    }
+
+    /// Replay the full arrival schedule through a fresh service.
+    ///
+    /// Deterministic: the same spec produces a byte-identical report at
+    /// any thread budget. Drifted arrivals additionally stream a probe of
+    /// off-plan requests through the tenant's monitor so the online path
+    /// (adaptation → batched tick apply → stale refresh) is exercised.
+    pub fn run(&self, base: &SimContext) -> Result<ServeReport, String> {
+        self.validate()?;
+        let cluster = self.build_cluster();
+        let model = MultiProfileModel::from_cluster(&cluster);
+        let mut svc = PlanningService::new(model, self.serve.clone());
+        let mut ctx = base.clone();
+        if ctx.threads.is_none() {
+            ctx.threads = self.threads;
+        }
+        let jobs = self.traffic.jobs();
+        let (mut hit, mut stale, mut miss) = (0u64, 0u64, 0u64);
+        let mut current_tick = 0usize;
+        for job in &jobs {
+            while current_tick < job.tick {
+                svc.tick(&ctx);
+                current_tick += 1;
+            }
+            let (workload, file_size) = self.traffic.build_workload(job);
+            let trace = collect_trace(&workload);
+            let ticket = svc.submit(&ctx, job.tenant, &trace, file_size);
+            match ticket.outcome {
+                PlanOutcome::CacheHit => hit += 1,
+                PlanOutcome::StaleRefresh => stale += 1,
+                PlanOutcome::Miss => miss += 1,
+            }
+            if job.drifted {
+                // Observed behaviour diverging from plan: a burst of small
+                // off-plan requests with punishing latencies. Enough to
+                // close two monitor windows.
+                for i in 0..(2 * self.serve.online.window as u64) {
+                    svc.observe_served(
+                        job.tenant,
+                        TraceRecord {
+                            rank: 0,
+                            fd: 0,
+                            op: OpKind::Read,
+                            offset: (i % 16) * 4096,
+                            size: 4096,
+                            timestamp: SimNanos::from_nanos(i),
+                        },
+                        0.5,
+                    );
+                }
+            }
+        }
+        // Close the final tick so every pending update lands.
+        svc.tick(&ctx);
+        let stats = svc.stats();
+        Ok(ServeReport {
+            name: self.name.clone(),
+            jobs: jobs.len() as u64,
+            tenants: stats.tenants as u64,
+            plans_hit: hit,
+            plans_stale: stale,
+            plans_miss: miss,
+            cache_hits: stats.cache.hits,
+            cache_misses: stats.cache.misses,
+            cache_stale: stats.cache.stale,
+            cache_evictions: stats.cache.evictions,
+            cache_hit_rate: stats.cache.hit_rate(),
+            regions_reused: stats.regions_reused,
+            regions_planned: stats.regions_planned,
+            region_pool_hits: stats.region_pool.0,
+            region_pool_misses: stats.region_pool.1,
+            adaptations: stats.adaptations,
+            batch_enqueued: stats.batch_enqueued,
+            batch_applied: stats.batch_applied,
+            batch_coalesced: stats.batch_coalesced,
+            ticks: stats.ticks,
+        })
+    }
+}
+
+/// Deterministic summary of one [`ServeSpec`] replay. Golden-diffed in CI
+/// (`scenarios/multiapp.golden.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Spec name, echoed.
+    pub name: String,
+    /// Plan submissions replayed.
+    pub jobs: u64,
+    /// Tenants resident when the replay finished.
+    pub tenants: u64,
+    /// Submissions answered straight from the plan cache.
+    pub plans_hit: u64,
+    /// Submissions that refreshed a stale (adapted-over) cached plan.
+    pub plans_stale: u64,
+    /// Submissions planned from scratch (with region-level reuse).
+    pub plans_miss: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses.
+    pub cache_misses: u64,
+    /// Plan-cache stale lookups.
+    pub cache_stale: u64,
+    /// Plans evicted by LRU pressure.
+    pub cache_evictions: u64,
+    /// hits / (hits + misses + stale).
+    pub cache_hit_rate: f64,
+    /// Regions answered from recycled grid results.
+    pub regions_reused: u64,
+    /// Regions whose grid search ran.
+    pub regions_planned: u64,
+    /// Cross-tenant region-pool hits.
+    pub region_pool_hits: u64,
+    /// Cross-tenant region-pool misses.
+    pub region_pool_misses: u64,
+    /// Online-drift adaptation events.
+    pub adaptations: u64,
+    /// Width updates enqueued by adaptations.
+    pub batch_enqueued: u64,
+    /// Width updates applied at ticks.
+    pub batch_applied: u64,
+    /// Updates coalesced away before apply.
+    pub batch_coalesced: u64,
+    /// Service ticks executed.
+    pub ticks: u64,
+}
+
+impl ServeReport {
+    /// Serialise as pretty JSON (the CLI/CI output format).
+    pub fn to_json_pretty(&self) -> String {
+        // The vendored serialiser is infallible; Err is unreachable.
+        serde_json::to_string_pretty(self).unwrap_or_default()
     }
 
     /// Parse a report back from JSON.
