@@ -159,10 +159,12 @@ PY
 rm -rf "$out"
 
 echo "== bench-serve regression guard =="
-# Full-scale rerun of all three tenant tiers; fails if warm plans/s at any
-# tier drops more than 20% below the committed BENCH_serve.json baseline
-# (or the deterministic submission counts drift, meaning the baseline is
-# stale).
+# Full-scale rerun of all three tenant tiers; fails if any deterministic
+# quantity (submission counts, region reuse split, cache hit rate) drifts
+# from the committed BENCH_serve.json baseline, meaning serve behaviour
+# changed and the baseline is stale. Wall-clock plans/s is reported for
+# information only (machine-dependent; a >20% drop prints a warning but
+# never fails CI).
 cargo run --release -q -p harl-bench --bin harl-cli -- \
     bench-serve --guard BENCH_serve.json
 

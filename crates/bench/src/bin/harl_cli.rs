@@ -578,7 +578,10 @@ fn cmd_bench_serve(opts: &Opts) {
         match run_serve_guard(&baseline) {
             Ok(lines) => {
                 print!("{lines}");
-                println!("serve throughput within budget of {}", path.display());
+                println!(
+                    "serve deterministic counters match {} (throughput informational)",
+                    path.display()
+                );
             }
             Err(msg) => {
                 eprintln!("bench-serve guard: {msg}");

@@ -15,8 +15,12 @@
 //! Reported per tier: p50/p99 submission latency, sustained plans/s for
 //! both modes, the warm/cold speedup and the warm cache hit rate. The
 //! committed baseline is `BENCH_serve.json`; `--guard` re-runs the full
-//! scale and fails CI when warm throughput drops more than
-//! [`GUARD_MAX_DROP_PCT`] below it.
+//! scale and fails CI when any *deterministic* quantity drifts from it —
+//! submission counts, the region reuse split, the warm cache hit rate —
+//! since those only move when planner/cache behaviour (or the schedule)
+//! changes. Wall-clock throughput is machine-dependent, so it is
+//! reported for information only: a warm plans/s drop past
+//! [`WARN_MAX_DROP_PCT`] prints a warning but never fails the guard.
 //!
 //! Wall-clock timing lives here, in the bench crate, because the service
 //! itself is part of the deterministic data path (harl-lint's
@@ -36,10 +40,12 @@ use std::time::Instant;
 /// Schema tag written into `BENCH_serve.json`; ci.sh greps for it.
 pub const SERVE_SCHEMA: &str = "harl.bench.serve.v1";
 
-/// Maximum tolerated warm-throughput drop versus the committed baseline:
-/// the ci.sh regression guard fails any tier measuring below 80% of
-/// `BENCH_serve.json`.
-pub const GUARD_MAX_DROP_PCT: f64 = 20.0;
+/// Warm-throughput drop versus the committed baseline past which the
+/// guard prints a warning line. Informational only: wall-clock
+/// throughput varies with the machine and its load, so the guard never
+/// *fails* on it — failures are reserved for deterministic-counter
+/// drift.
+pub const WARN_MAX_DROP_PCT: f64 = 20.0;
 
 /// One tenant tier of the benchmark.
 #[derive(Debug, Clone, Copy)]
@@ -251,13 +257,49 @@ pub fn run_serve_bench(scale: ServeScale, threads: usize, quick: bool) -> Value 
     })
 }
 
+/// Deterministic warm-mode quantities of one tier that must match the
+/// baseline exactly. The serve path is deterministic at any thread
+/// count, so any drift means planner/cache behaviour (or the schedule)
+/// changed and the baseline is stale. Returns the first mismatch.
+fn tier_counter_drift(base: &Value, meas: &Value) -> Option<String> {
+    let counters: [(&str, &[&str]); 3] = [
+        ("submissions", &["submissions"]),
+        ("warm.regions_reused", &["warm", "regions_reused"]),
+        ("warm.regions_planned", &["warm", "regions_planned"]),
+    ];
+    for (label, path) in counters {
+        let b = path.iter().fold(base, |v, k| &v[*k]).as_u64();
+        let m = path.iter().fold(meas, |v, k| &v[*k]).as_u64();
+        if b != m {
+            return Some(format!(
+                "{label} baseline {} vs measured {}",
+                b.map_or_else(|| "missing".into(), |v| v.to_string()),
+                m.map_or_else(|| "missing".into(), |v| v.to_string()),
+            ));
+        }
+    }
+    let b = base["warm"]["cache_hit_rate"].as_f64().unwrap_or(-1.0);
+    let m = meas["warm"]["cache_hit_rate"].as_f64().unwrap_or(-1.0);
+    // The hit rate is a ratio of deterministic integers; re-measuring the
+    // same build reproduces it bit-for-bit. Tolerance only pads JSON
+    // round-tripping.
+    if (b - m).abs() > 1e-9 {
+        return Some(format!("warm.cache_hit_rate baseline {b} vs measured {m}"));
+    }
+    None
+}
+
 /// The ci.sh serve regression guard (`harl-cli bench-serve --guard`).
 ///
-/// Re-runs the full scale and compares warm plans/s per tier against the
-/// committed `BENCH_serve.json`: submission counts must match exactly (a
-/// drift means the schedule changed — regenerate the baseline), and each
-/// tier's warm throughput must stay within [`GUARD_MAX_DROP_PCT`].
-/// Returns one summary line per tier on success.
+/// Re-runs the full scale and compares each tier against the committed
+/// `BENCH_serve.json`. Failures are reserved for *deterministic* drift:
+/// submission counts, the warm region reuse split, and the warm cache
+/// hit rate must match the baseline exactly (a drift means the schedule
+/// or the planner/cache behaviour changed — regenerate the baseline).
+/// Warm plans/s is compared too, but informationally: wall clock is
+/// machine-dependent, so a drop past [`WARN_MAX_DROP_PCT`] only annotates
+/// the tier's summary line with a warning. Returns one summary line per
+/// tier on success.
 pub fn run_serve_guard(baseline: &Value) -> Result<String, String> {
     let threads = usize::try_from(baseline["threads"].as_u64().unwrap_or(1)).unwrap_or(1);
     let scale = ServeScale::full();
@@ -299,19 +341,25 @@ pub fn run_serve_guard(baseline: &Value) -> Result<String, String> {
     let mut breaches = Vec::new();
     for (base, meas) in base_tiers.iter().zip(meas_tiers) {
         let tenants = base["tenants"].as_u64().unwrap_or(0);
+        if let Some(drift) = tier_counter_drift(base, meas) {
+            breaches.push(format!(
+                "tier {tenants} deterministic counters drifted ({drift}); \
+                 planner/cache behaviour changed — regenerate BENCH_serve.json"
+            ));
+            continue;
+        }
         let base_pps = base["warm"]["plans_per_s"].as_f64().unwrap_or(0.0);
         let meas_pps = meas["warm"]["plans_per_s"].as_f64().unwrap_or(0.0);
-        let drop = 100.0 * (1.0 - meas_pps / base_pps);
+        let drop = 100.0 * (1.0 - meas_pps / base_pps.max(1e-12));
+        let warn = if drop > WARN_MAX_DROP_PCT {
+            format!(" [warning: >{WARN_MAX_DROP_PCT:.0}% slower than baseline; informational]")
+        } else {
+            String::new()
+        };
         lines.push_str(&format!(
-            "{tenants:>5} tenants  {meas_pps:>12.0} plans/s  (baseline {base_pps:>12.0}, \
-             {drop:+.1}% drop)\n"
+            "{tenants:>5} tenants  counters match  {meas_pps:>12.0} plans/s \
+             (baseline {base_pps:>12.0}, {drop:+.1}% drop){warn}\n"
         ));
-        if drop > GUARD_MAX_DROP_PCT {
-            breaches.push(format!(
-                "tier {tenants} dropped {drop:.1}% below the baseline ({meas_pps:.0} vs \
-                 {base_pps:.0} plans/s, budget {GUARD_MAX_DROP_PCT}%)"
-            ));
-        }
     }
     if breaches.is_empty() {
         Ok(lines)
@@ -356,6 +404,43 @@ mod tests {
         assert_eq!(percentile(&lat, 1.0), 0.004);
         assert_eq!(percentile(&lat, 0.5), 0.003);
         assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn counter_drift_ignores_wall_clock_and_flags_counters() {
+        let tier = |subs: u64, reused: u64, planned: u64, hit: f64, pps: f64| {
+            json!({
+                "tenants": 16,
+                "submissions": subs,
+                "warm": json!({
+                    "plans_per_s": pps,
+                    "cache_hit_rate": hit,
+                    "regions_reused": reused,
+                    "regions_planned": planned,
+                }),
+            })
+        };
+        let base = tier(64, 10, 4, 0.9375, 50_000.0);
+        // A 10x wall-clock slowdown alone is NOT drift.
+        assert_eq!(
+            tier_counter_drift(&base, &tier(64, 10, 4, 0.9375, 5_000.0)),
+            None
+        );
+        // Any deterministic counter moving is.
+        let drift = tier_counter_drift(&base, &tier(64, 10, 5, 0.9375, 50_000.0));
+        assert!(
+            drift
+                .as_deref()
+                .is_some_and(|d| d.contains("regions_planned")),
+            "{drift:?}"
+        );
+        let drift = tier_counter_drift(&base, &tier(64, 10, 4, 0.5, 50_000.0));
+        assert!(
+            drift
+                .as_deref()
+                .is_some_and(|d| d.contains("cache_hit_rate")),
+            "{drift:?}"
+        );
     }
 
     #[test]

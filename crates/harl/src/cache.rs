@@ -1,7 +1,9 @@
 //! Plan caching and incremental re-planning.
 //!
-//! Three reuse tiers, each deterministic and bit-identical to the
-//! uncached computation it replaces:
+//! Three deterministic reuse tiers. The region-level tiers (1 and 3) are
+//! bit-identical to the uncached computation they replace; the
+//! whole-plan tier (2) is exact for resubmissions of the same trace but
+//! *approximate* across distinct traces — see below.
 //!
 //! 1. [`plan_file`] — the whole-file planning pipeline behind
 //!    [`crate::policy::HarlPolicy`], factored out so it can optionally
@@ -14,11 +16,18 @@
 //!    clock, ties broken by fingerprint order) and hit/miss/stale
 //!    accounting. A stale entry (invalidated after online adaptation)
 //!    still donates its per-region grid results for incremental re-use.
+//!    The fingerprint is a lossy digest (log-bucketed counts, 5% write
+//!    buckets, grid-rounded averages): equal traces always produce equal
+//!    fingerprints, so a resubmission hit is bit-identical to re-planning
+//!    that trace, but two *different* traces can bucket identically and
+//!    then share the first submitter's plan — approximate workload
+//!    matching by design, trading exactness for fleet-wide reuse.
 //! 3. [`RegionPlanCache`] — the cross-tenant pool of per-region grid
 //!    results, LRU-bounded the same way.
 //!
-//! The safety argument for bitwise equality is structural, not
-//! statistical: a [`RegionPlanKey`] is the *exact* input of one
+//! The safety argument for bitwise equality covers the region tiers
+//! only, and it is structural, not statistical: a [`RegionPlanKey`] is
+//! the *exact* input of one
 //! `optimize_region` call — the deterministic stride sample of the
 //! region's requests (region-relative offsets, sizes, ops), the average
 //! request size, and the grid geometry (`step`, `max_grid_points`).

@@ -3,18 +3,27 @@
 //!
 //! Many concurrent applications (tenants) submit traces for their own
 //! logical files and receive RST/R2F layouts. Three performance layers sit
-//! between a submission and a grid search, each deterministic and
-//! bit-identical to the uncached computation (see `harl_core::cache`):
+//! between a submission and a grid search, each deterministic (see
+//! `harl_core::cache`):
 //!
 //! 1. **Plan cache** — submissions are fingerprinted
 //!    ([`harl_core::fingerprint`]); a fingerprint hit returns the cached
 //!    whole-file plan without touching the optimizer. Eviction is LRU by
 //!    the service's logical clock, capacity from [`ServeConfig`].
+//!    Matching at this tier is *approximate* workload matching: the
+//!    fingerprint is deliberately lossy (bucketed size histogram, 5%
+//!    write buckets, grid-rounded averages), so resubmitting the same
+//!    trace always hits and returns the identical plan, but two
+//!    *different* traces that bucket identically share one cached plan,
+//!    which need not equal what planning the second trace from scratch
+//!    would have produced.
 //! 2. **Incremental re-planning** — on a miss (or a stale hit after
 //!    online adaptation), per-region grid results are recycled from the
 //!    stale entry, the tenant's previous plan, and a cross-tenant region
 //!    pool; only regions whose exact search input changed re-run
-//!    Algorithm 2.
+//!    Algorithm 2. Unlike tier 1, reuse here is bit-identical to the
+//!    uncached computation by construction — the region key is the exact
+//!    grid-search input.
 //! 3. **Batched RST updates** — online-drift adaptations from concurrent
 //!    tenants are enqueued, then coalesced (last-writer-wins per tenant ×
 //!    region) and applied in canonical order once per service tick
@@ -154,7 +163,9 @@ pub struct ServeStats {
     pub batch_enqueued: u64,
     /// Updates actually applied to served tables at ticks.
     pub batch_applied: u64,
-    /// Updates coalesced away (superseded or no-op) before apply.
+    /// Updates coalesced away before apply: superseded by a later write
+    /// to the same cell, no-ops, or retired because a re-plan replaced
+    /// the tenant's table (and with it the region geometry they indexed).
     pub batch_coalesced: u64,
     /// Adaptation events observed.
     pub adaptations: u64,
@@ -406,6 +417,15 @@ impl PlanningService {
         plan: &CachedPlan,
         sorted: &[TraceRecord],
     ) {
+        // A new plan replaces the tenant's table (and monitor) wholesale:
+        // queued width updates were computed against the *old* table's
+        // region geometry, so applying them to the new one at the next
+        // tick would rewrite the wrong rows — or index past the end if
+        // the new plan merged to fewer regions. Retire them as coalesced
+        // (superseded before apply).
+        let before = self.pending.len();
+        self.pending.retain(|u| u.tenant != tenant);
+        self.batch_coalesced += (before - self.pending.len()) as u64;
         let planned_avg = planned_averages(&plan.rst, sorted);
         let monitor = OnlineMonitor::new(
             self.model.clone(),
@@ -458,7 +478,8 @@ impl PlanningService {
     /// Close one service tick: coalesce all pending per-region updates
     /// (last writer wins per tenant × region), apply each tenant's batch
     /// in canonical `(tenant, region)` order, and invalidate the cached
-    /// plans of adapted tenants.
+    /// plan of each tenant whose served table actually changed (a batch
+    /// of pure no-ops leaves the cached plan accurate, hence valid).
     pub fn tick(&mut self, ctx: &SimContext) -> TickReport {
         self.ticks += 1;
         let mut batch = std::mem::take(&mut self.pending);
@@ -479,10 +500,23 @@ impl PlanningService {
             let Some(t) = self.tenants.get_mut(&tenant) else {
                 continue;
             };
-            applied += t.rst.apply_batch(&updates);
-            // The tenant's served layout no longer matches the plan its
-            // fingerprint cached.
-            self.cache.invalidate(&t.fingerprint);
+            // Defence in depth: install_tenant purges a re-planned
+            // tenant's queue, so every surviving region index should be
+            // in range for the served table — but an out-of-range index
+            // must degrade to a dropped update, never an apply_batch
+            // panic or a rewrite of an unrelated region.
+            let regions = t.rst.entries().len();
+            let in_range: RegionUpdates = updates
+                .into_iter()
+                .filter(|(region, _)| *region < regions)
+                .collect();
+            let rewritten = t.rst.apply_batch(&in_range);
+            if rewritten > 0 {
+                // The tenant's served layout no longer matches the plan
+                // its fingerprint cached.
+                self.cache.invalidate(&t.fingerprint);
+            }
+            applied += rewritten;
         }
         let coalesced = enqueued - applied;
         self.batch_applied += applied as u64;
@@ -702,6 +736,106 @@ mod tests {
         assert_eq!(refresh.rst, first.rst, "same workload, same plan");
         assert_eq!(refresh.planned_regions, 0, "all regions recycled");
         assert!(refresh.reused_regions > 0);
+    }
+
+    #[test]
+    fn replan_purges_stale_pending_updates() {
+        // A drifted tenant that re-submits (a different workload) before
+        // the next tick gets a fresh table; the updates still queued
+        // against the old table must be retired, not applied to the new
+        // one.
+        let mut svc = PlanningService::new(
+            model(),
+            ServeConfig {
+                online: OnlineConfig {
+                    window: 32,
+                    patience: 1,
+                    ..OnlineConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+        );
+        let ctx = SimContext::new();
+        let (trace_a, size_a) = phased_trace(0);
+        svc.submit(&ctx, 1, &trace_a, size_a);
+        let mut enqueued = 0;
+        for i in 0..64u64 {
+            enqueued += svc.observe_served(
+                1,
+                TraceRecord {
+                    rank: 0,
+                    fd: 0,
+                    op: OpKind::Read,
+                    offset: (i % 16) * 4 * KB,
+                    size: 4 * KB,
+                    timestamp: SimNanos::from_nanos(i),
+                },
+                0.5,
+            );
+        }
+        assert!(enqueued > 0, "drift should enqueue at least one update");
+        // Re-submit a different workload before the tick: new fingerprint,
+        // new plan, new table — the queued updates are now meaningless.
+        let (trace_b, size_b) = phased_trace(1);
+        let fresh = svc.submit(&ctx, 1, &trace_b, size_b);
+        assert!(svc.pending.is_empty(), "re-install must purge the queue");
+        let report = svc.tick(&ctx);
+        assert_eq!(report.applied, 0, "no stale update may reach the table");
+        assert_eq!(svc.tenant_rst(1), Some(&fresh.rst));
+        let stats = svc.stats();
+        assert_eq!(
+            stats.batch_enqueued,
+            stats.batch_applied + stats.batch_coalesced,
+            "purged updates must be accounted as coalesced"
+        );
+    }
+
+    #[test]
+    fn tick_drops_out_of_range_region_updates() {
+        // Even if a stale index slips past the install-time purge, tick
+        // must drop it (counted as coalesced), not panic or rewrite an
+        // unrelated region.
+        let mut svc = service();
+        let ctx = SimContext::new();
+        let (trace, size) = phased_trace(0);
+        let first = svc.submit(&ctx, 1, &trace, size);
+        svc.seq += 1;
+        let seq = svc.seq;
+        svc.pending.push(PendingUpdate {
+            tenant: 1,
+            region: 999,
+            widths: vec![64 * KB; 2],
+            seq,
+        });
+        let report = svc.tick(&ctx);
+        assert_eq!((report.applied, report.coalesced), (0, 1));
+        assert_eq!(svc.tenant_rst(1), Some(&first.rst));
+    }
+
+    #[test]
+    fn noop_tick_keeps_cached_plan_valid() {
+        // A batch of pure no-ops leaves the served table equal to the
+        // cached plan, so the next identical submission must still hit.
+        let mut svc = service();
+        let ctx = SimContext::new();
+        let (trace, size) = phased_trace(0);
+        svc.submit(&ctx, 1, &trace, size);
+        let current = svc
+            .tenant_rst(1)
+            .map(|r| r.entries()[0].widths().to_vec())
+            .unwrap_or_default();
+        svc.seq += 1;
+        let seq = svc.seq;
+        svc.pending.push(PendingUpdate {
+            tenant: 1,
+            region: 0,
+            widths: current,
+            seq,
+        });
+        let report = svc.tick(&ctx);
+        assert_eq!(report.applied, 0);
+        let again = svc.submit(&ctx, 1, &trace, size);
+        assert_eq!(again.outcome, PlanOutcome::CacheHit);
     }
 
     #[test]
