@@ -138,6 +138,15 @@ print("multiapp report matches golden (cache hit rate = %.1f%%)"
 PY
 rm -rf "$out"
 
+echo "== determinism audit (fast tier) =="
+# Re-runs the smoke and multiapp scenarios at 1 and 8 planner threads,
+# hashes every artifact (report JSON + wall-clock-stripped metrics JSONL)
+# and fails on any byte difference across thread budgets or against the
+# committed goldens. The full tier (all three scenarios, threads 1/2/8,
+# two seeds) is `harl-cli audit-determinism` without --fast.
+cargo run --release -q -p harl-bench --bin harl-cli -- \
+    audit-determinism --fast
+
 echo "== bench-serve smoke test =="
 out="$(mktemp -d)"
 cargo run --release -q -p harl-bench --bin harl-cli -- \

@@ -22,6 +22,7 @@
 //! harl-cli serve --scenario serve.json [--out report.json] [--threads T]
 //!              [--metrics-out metrics.jsonl]
 //! harl-cli lint [--root DIR] [--json]
+//! harl-cli audit-determinism [--root DIR] [--fast]
 //! ```
 //!
 //! Sizes accept suffixes `K`, `M`, `G` (binary).
@@ -73,7 +74,8 @@ fn usage() -> ! {
          [--metrics-out metrics.jsonl] [--sample-ms MS]\n  \
          harl-cli serve --scenario serve.json [--out report.json] [--threads T] \
          [--metrics-out metrics.jsonl]\n  \
-         harl-cli lint [--root DIR] [--json]"
+         harl-cli lint [--root DIR] [--json]\n  \
+         harl-cli audit-determinism [--root DIR] [--fast]"
     );
     std::process::exit(2);
 }
@@ -101,6 +103,7 @@ struct Opts {
     trace_out: Option<PathBuf>,
     json: bool,
     quick: bool,
+    fast: bool,
     threads: Option<usize>,
     scenario: Option<PathBuf>,
     seed: Option<u64>,
@@ -121,6 +124,7 @@ fn parse_opts(args: &[String]) -> Opts {
         trace_out: None,
         json: false,
         quick: false,
+        fast: false,
         threads: None,
         scenario: None,
         seed: None,
@@ -158,6 +162,7 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--json" => opts.json = true,
             "--quick" => opts.quick = true,
+            "--fast" => opts.fast = true,
             "--threads" => {
                 opts.threads = it.next().and_then(|v| v.parse().ok());
                 if opts.threads.is_none() {
@@ -770,6 +775,18 @@ fn cmd_serve(opts: &Opts) {
     }
 }
 
+fn cmd_audit_determinism(opts: &Opts) {
+    if !opts.positional.is_empty() {
+        usage();
+    }
+    let root = opts.root.clone().unwrap_or_else(|| PathBuf::from("."));
+    let report = harl_bench::auditdet::run_audit(&root, opts.fast);
+    print!("{}", report.render_human());
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}
+
 fn cmd_lint(opts: &Opts) {
     if !opts.positional.is_empty() {
         usage();
@@ -808,6 +825,7 @@ fn main() {
         "run" => cmd_run(&opts),
         "serve" => cmd_serve(&opts),
         "lint" => cmd_lint(&opts),
+        "audit-determinism" => cmd_audit_determinism(&opts),
         _ => usage(),
     }
 }

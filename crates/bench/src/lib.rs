@@ -21,6 +21,7 @@
 )]
 
 pub mod ablations;
+pub mod auditdet;
 pub mod figures;
 pub mod harness;
 pub mod planning;

@@ -38,6 +38,17 @@
 //! to one cost model — callers mixing models must segregate caches (the
 //! fingerprint's class tags enforce this at the [`PlanCache`] tier).
 
+// Index/iteration hygiene, ratcheted to deny: cache reuse must replay
+// regions in canonical order, and an indexed loop is where an off-by-one
+// would silently change which cached result a region receives.
+#![deny(
+    clippy::explicit_iter_loop,
+    clippy::explicit_into_iter_loop,
+    clippy::needless_range_loop,
+    clippy::range_plus_one,
+    clippy::range_minus_one
+)]
+
 use crate::fingerprint::WorkloadFingerprint;
 use crate::multiprofile::MultiProfileModel;
 use crate::optimizer::{optimize_region, LayoutChoice, OptimizerConfig, RegionRequests};

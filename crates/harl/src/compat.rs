@@ -98,10 +98,11 @@ impl RegionRequests<'_> {
     /// the (sampled) requests — exposed for baseline policies that search a
     /// restricted candidate set.
     pub fn cost_of(&self, model: &CostModelParams, h: u64, s: u64, cap: usize) -> f64 {
-        self.sample(cap)
-            .iter()
-            .map(|&(o, r, op)| model.request_cost(o, r, op, h, s))
-            .sum()
+        crate::fold::sum_f64(
+            self.sample(cap)
+                .iter()
+                .map(|&(o, r, op)| model.request_cost(o, r, op, h, s)),
+        )
     }
 }
 

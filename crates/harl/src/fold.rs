@@ -1,0 +1,104 @@
+//! Fixed-order floating-point accumulation.
+//!
+//! Bit-determinism (same Scenario + seed ⇒ byte-identical report) extends
+//! to every `f64` in the cost model: float addition is not associative, so
+//! the *order* of an accumulation is part of the result. These helpers
+//! make that order explicit — a strict left-to-right fold from `0.0`,
+//! exactly what `Iterator::sum::<f64>()` and a sequential `+=` loop
+//! compute today — so that refactors which chunk, reverse, or parallelise
+//! the surrounding iteration cannot silently change the result bits
+//! without changing the call site. The `float-accumulation` lint rule
+//! (HL011, DESIGN.md Appendix D) points model/optimizer code here.
+
+/// Sum `f64` values in iteration order: a left fold from `+0.0`.
+///
+/// Bit-identical to `iter.sum::<f64>()` for the same element order; the
+/// point of calling it by name is that the order becomes part of the
+/// contract.
+pub fn sum_f64<I: IntoIterator<Item = f64>>(xs: I) -> f64 {
+    let mut acc = OrderedSum::new();
+    for x in xs {
+        acc.add(x);
+    }
+    acc.value()
+}
+
+/// A running left-to-right `f64` accumulator for loops that cannot be
+/// written as one iterator chain (early exits, interleaved state).
+///
+/// `OrderedSum::new().add(a); add(b); …` computes exactly
+/// `((0.0 + a) + b) + …` — the same bits as the bare `+=` chain it
+/// replaces, in the order the calls are made.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OrderedSum {
+    acc: f64,
+}
+
+impl OrderedSum {
+    /// Start from `+0.0`, like `Iterator::sum`.
+    pub fn new() -> Self {
+        OrderedSum { acc: 0.0 }
+    }
+
+    /// Fold one value in, in call order.
+    pub fn add(&mut self, x: f64) {
+        self.acc += x;
+    }
+
+    /// The running sum.
+    pub fn value(&self) -> f64 {
+        self.acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Exact comparisons on purpose: the helpers' whole contract is
+    // bit-identity with the sequential folds they replace.
+    #![allow(clippy::float_cmp)]
+
+    use super::*;
+
+    /// A value sequence where order visibly matters: alternating huge and
+    /// tiny magnitudes so reassociation changes the low bits.
+    fn awkward() -> Vec<f64> {
+        (0..64)
+            .map(|i| {
+                let m = if i % 2 == 0 { 1e16 } else { 1e-7 };
+                m * (1.0 + (i as f64) / 17.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sum_f64_agrees_with_iterator_sum_bitwise() {
+        let xs = awkward();
+        let expect: f64 = xs.iter().copied().sum();
+        assert_eq!(sum_f64(xs.iter().copied()).to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn ordered_sum_agrees_with_plus_equals_bitwise() {
+        let xs = awkward();
+        let mut naive = 0.0;
+        let mut pinned = OrderedSum::new();
+        for &x in &xs {
+            naive += x;
+            pinned.add(x);
+        }
+        assert_eq!(pinned.value().to_bits(), naive.to_bits());
+    }
+
+    #[test]
+    fn order_actually_matters() {
+        // Sanity check that pinning the order is not vacuous: absorption
+        // makes `1.0 + 1e16 - 1e16` and `-1e16 + 1e16 + 1.0` differ
+        // (0.0 vs 1.0), so a reordered fold changes the result.
+        let xs = [1.0f64, 1e16, -1e16];
+        let fwd = sum_f64(xs.iter().copied());
+        let rev = sum_f64(xs.iter().rev().copied());
+        assert_ne!(fwd.to_bits(), rev.to_bits());
+        assert_eq!(fwd, 0.0);
+        assert_eq!(rev, 1.0);
+    }
+}

@@ -38,6 +38,7 @@ pub(crate) mod cast;
 pub mod compat;
 pub mod errors;
 pub mod fingerprint;
+pub mod fold;
 pub mod migration;
 #[warn(clippy::float_cmp, clippy::cast_possible_truncation)]
 pub mod model;

@@ -146,8 +146,8 @@ impl SpaceBalancer {
         // nothing more can be reclaimed.
         let mut entries: Vec<RstEntry> = rst.entries().to_vec();
         let mut adjusted = vec![false; entries.len()];
-        let mut old_cost_total = 0.0;
-        let mut new_cost_total = 0.0;
+        let mut old_cost_total = crate::fold::OrderedSum::new();
+        let mut new_cost_total = crate::fold::OrderedSum::new();
         let mut current = before;
 
         // Precompute per-region request slices.
@@ -206,8 +206,8 @@ impl SpaceBalancer {
             };
             entries[i] = RstEntry::two(entries[i].offset, entries[i].len, plan.h, plan.s);
             adjusted[i] = true;
-            old_cost_total += old_cost;
-            new_cost_total += plan.cost;
+            old_cost_total.add(old_cost);
+            new_cost_total.add(plan.cost);
             current = current.saturating_sub(reclaimed);
         }
 
@@ -220,8 +220,8 @@ impl SpaceBalancer {
             sserver_bytes_before: before,
             sserver_bytes_after: after,
             regions_adjusted,
-            cost_increase_frac: if old_cost_total > 0.0 {
-                (new_cost_total - old_cost_total) / old_cost_total
+            cost_increase_frac: if old_cost_total.value() > 0.0 {
+                (new_cost_total.value() - old_cost_total.value()) / old_cost_total.value()
             } else {
                 0.0
             },

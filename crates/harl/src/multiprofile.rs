@@ -200,10 +200,11 @@ impl MultiProfileOptimizer {
     }
 
     fn total_cost(&self, sample: &[(u64, u64, OpKind)], widths: &[u64]) -> f64 {
-        sample
-            .iter()
-            .map(|&(o, r, op)| self.model.request_cost(o, r, op, widths))
-            .sum()
+        crate::fold::sum_f64(
+            sample
+                .iter()
+                .map(|&(o, r, op)| self.model.request_cost(o, r, op, widths)),
+        )
     }
 
     /// Optimise per-class widths for a region's request sample (offsets
@@ -248,13 +249,13 @@ impl MultiProfileOptimizer {
                 }
             })
             .collect();
-        let total_inv: f64 = self
-            .model
-            .classes
-            .iter()
-            .zip(&inv_beta)
-            .map(|(c, &b)| c.count as f64 * b)
-            .sum();
+        let total_inv = crate::fold::sum_f64(
+            self.model
+                .classes
+                .iter()
+                .zip(&inv_beta)
+                .map(|(c, &b)| c.count as f64 * b),
+        );
         if total_inv > 0.0 {
             let proportional: Vec<u64> = inv_beta
                 .iter()

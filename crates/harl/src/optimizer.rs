@@ -157,10 +157,11 @@ impl<'a> RegionRequests<'a> {
     /// restricted candidate set. (The two-tier pair form `cost_of` lives
     /// in `crate::compat`.)
     pub fn cost_of_widths(&self, model: &MultiProfileModel, widths: &[u64], cap: usize) -> f64 {
-        self.sample(cap)
-            .iter()
-            .map(|&(o, r, op)| model.request_cost(o, r, op, widths))
-            .sum()
+        crate::fold::sum_f64(
+            self.sample(cap)
+                .iter()
+                .map(|&(o, r, op)| model.request_cost(o, r, op, widths)),
+        )
     }
 
     /// Deterministic stride sample of at most `cap` requests.
@@ -445,7 +446,7 @@ fn best_of(
     let startup = model.startup_table();
     'cands: for &(h, s) in cands {
         let group = usize_to_u64(model.m()) * h + usize_to_u64(model.n()) * s;
-        let mut cost = 0.0;
+        let mut cost = crate::fold::OrderedSum::new();
         for run in &runs {
             let d = run.d % group;
             let period = if d == 0 {
@@ -464,8 +465,8 @@ fn best_of(
                 } else {
                     1.0
                 };
-                cost += mult * model.request_cost_with(&startup, r, run.size, run.op, h, s);
-                if cost > best.cost {
+                cost.add(mult * model.request_cost_with(&startup, r, run.size, run.op, h, s));
+                if cost.value() > best.cost {
                     continue 'cands; // cannot win, even on the tie-break
                 }
                 r += d;
@@ -474,7 +475,14 @@ fn best_of(
                 }
             }
         }
-        best = pick_better(best, StripeChoice { h, s, cost });
+        best = pick_better(
+            best,
+            StripeChoice {
+                h,
+                s,
+                cost: cost.value(),
+            },
+        );
     }
     best
 }

@@ -52,7 +52,26 @@ impl Tok {
         if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
             return false;
         }
-        t.contains('.') || t.ends_with("f32") || t.ends_with("f64") || t.contains(['e', 'E'])
+        if t.contains('.') || t.ends_with("f32") || t.ends_with("f64") {
+            return true;
+        }
+        // Exponent form: an `e`/`E` directly after the digit run, followed
+        // by an optional sign and a digit (`1e9`, `2E-7`). The `e` of an
+        // integer suffix (`0usize`) is never followed by a digit, so
+        // suffixed integers stay ints.
+        let b = t.as_bytes();
+        let mut i = 0;
+        while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+            i += 1;
+        }
+        if i < b.len() && matches!(b[i], b'e' | b'E') {
+            let mut k = i + 1;
+            if k < b.len() && matches!(b[k], b'+' | b'-') {
+                k += 1;
+            }
+            return k < b.len() && b[k].is_ascii_digit();
+        }
+        false
     }
 }
 
@@ -335,7 +354,14 @@ fn lex_string(chars: &[char], i: usize, line: usize) -> (Tok, usize, usize) {
     let mut lines = 0usize;
     while j < n {
         match chars[j] {
-            '\\' => j += 2,
+            // An escape consumes two chars; `\` before a newline is the
+            // line-continuation form, and that newline still counts.
+            '\\' => {
+                if j + 1 < n && chars[j + 1] == '\n' {
+                    lines += 1;
+                }
+                j += 2;
+            }
             '\n' => {
                 lines += 1;
                 j += 1;
@@ -458,83 +484,44 @@ fn lex_number(chars: &[char], i: usize, line: usize, prev: Option<&Tok>) -> (Tok
 /// Mark every token that belongs to a `#[cfg(test)]` item.
 ///
 /// Returns a mask parallel to `toks`: `true` means "test-only code, exempt
-/// from the rules". The scan matches the literal attribute `#[cfg(test)]`,
-/// skips any further attributes, then swallows the annotated item — up to
-/// the matching close brace of its body, or to a `;` at bracket depth zero
-/// for brace-less items (`use`, `const`, …).
+/// from the rules". Since the v2 analyzer this delegates to the pass-1
+/// item graph ([`crate::graph::Graph::test_mask`]), which inherits the
+/// gate through nested `mod` blocks and `#[cfg(test)]`-gated `impl`
+/// items, and also recognises bare `#[test]` functions and
+/// `cfg(all(test, …))` lists — granularity the old flat attribute scan
+/// did not have.
 pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
-    let mut mask = vec![false; toks.len()];
-    let mut i = 0;
-    while i < toks.len() {
-        if is_cfg_test_attr(toks, i) {
-            let mut j = i + 7;
-            // Skip any further attributes on the same item.
-            while j + 1 < toks.len() && toks[j].text == "#" && toks[j + 1].text == "[" {
-                j = skip_balanced(toks, j + 1, "[", "]");
-            }
-            let end = skip_item(toks, j);
-            for m in mask.iter_mut().take(end).skip(i) {
-                *m = true;
-            }
-            i = end;
-        } else {
-            i += 1;
-        }
-    }
-    mask
+    crate::graph::Graph::build(toks).test_mask()
 }
 
-fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
-    let texts = ["#", "[", "cfg", "(", "test", ")", "]"];
-    toks.len() >= i + texts.len()
-        && texts
-            .iter()
-            .enumerate()
-            .all(|(k, t)| toks[i + k].text == *t)
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-/// Given `open` at `toks[at]`, return the index just past its matching
-/// `close`.
-fn skip_balanced(toks: &[Tok], at: usize, open: &str, close: &str) -> usize {
-    let mut depth = 0usize;
-    let mut j = at;
-    while j < toks.len() {
-        if toks[j].text == open {
-            depth += 1;
-        } else if toks[j].text == close {
-            depth -= 1;
-            if depth == 0 {
-                return j + 1;
+    #[test]
+    fn suffixed_integers_are_not_floats() {
+        for t in lex("let a = 0usize; let b = 100u64; let c = 0xEEu8;") {
+            if t.kind == TokKind::Num {
+                assert!(!t.is_float_literal(), "{:?} misread as float", t.text);
             }
         }
-        j += 1;
     }
-    toks.len()
-}
 
-/// Return the index just past the item starting at `j`: the matching `}`
-/// of the first top-level brace block, or the first `;` at depth zero.
-fn skip_item(toks: &[Tok], mut j: usize) -> usize {
-    let mut braces = 0i64;
-    let mut parens = 0i64;
-    let mut brackets = 0i64;
-    while j < toks.len() {
-        match toks[j].text.as_str() {
-            "{" => braces += 1,
-            "}" => {
-                braces -= 1;
-                if braces == 0 {
-                    return j + 1;
-                }
-            }
-            "(" => parens += 1,
-            ")" => parens -= 1,
-            "[" => brackets += 1,
-            "]" => brackets -= 1,
-            ";" if braces == 0 && parens == 0 && brackets == 0 => return j + 1,
-            _ => {}
+    #[test]
+    fn float_forms_are_floats() {
+        for src in ["0.5", "1e9", "2E-7", "3f64", "1_000.0", "7e5f32"] {
+            let toks = lex(src);
+            assert!(toks[0].is_float_literal(), "{src} misread as int");
         }
-        j += 1;
     }
-    toks.len()
+
+    #[test]
+    fn string_line_continuation_counts_its_newline() {
+        // The string spans lines 1–2 via a `\` line continuation; the
+        // following statement must land on line 3, not 2.
+        let src = "let s = \"a \\\n   b\";\nlet after = 1;\n";
+        let toks = lex(src);
+        let after = toks.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 3);
+    }
 }

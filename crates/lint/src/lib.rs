@@ -3,9 +3,11 @@
 //! The compiler and clippy cannot check the two properties this
 //! reproduction lives on: **bit-determinism** (same Scenario + seed ⇒
 //! byte-identical report) and **cost-model numeric hygiene** (Sec. III-D,
-//! Eqs. 1–8). This crate walks the workspace sources with a token-level
-//! scanner (no parser, no dependencies) and enforces the rules described
-//! in DESIGN.md Appendix D:
+//! Eqs. 1–8). This crate is a two-pass semantic analyzer (still no parser
+//! crate, no dependencies): pass 1 segments the token stream into a
+//! lightweight item/module graph (`graph`), pass 2 runs the token rules
+//! (`rules`) and the graph-aware semantic rules (`semantic`) described in
+//! DESIGN.md Appendix D:
 //!
 //! | rule | scope | meaning |
 //! |------|-------|---------|
@@ -17,6 +19,9 @@
 //! | `recorded-twins` | everywhere | no `*_recorded` API resurrection |
 //! | `metric-registry` | everywhere but `registry.rs` | no quoted metric names at Recorder calls |
 //! | `two-tier-hygiene` | everywhere but `compat.rs` | no new `(h: u64, s: u64)` pair parameters |
+//! | `map-iteration-order` | simulated-time crates | no HashMap/HashSet iteration without ordering |
+//! | `unordered-parallel-merge` | simulated-time crates | parallel results merge in canonical key order |
+//! | `float-accumulation` | `crates/harl` (minus `fold.rs`) | f64 accumulation via `harl::fold` helpers |
 //!
 //! Legitimate exceptions live in `lint.allow.toml` (rule + path + line
 //! pattern + reason); unused entries are reported as `stale-allow` so the
@@ -31,8 +36,10 @@
 )]
 
 pub mod allow;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
+pub mod semantic;
 
 use std::fmt::Write as _;
 use std::fs;
@@ -111,15 +118,31 @@ fn in_scope(path: &str, scopes: &[&str]) -> bool {
     scopes.iter().any(|s| path.starts_with(s))
 }
 
+/// Model/optimizer code held to fixed-order float accumulation
+/// (`harl::fold`). The fold helpers themselves implement the pinned-order
+/// loops the rule pushes everyone else towards, so `fold.rs` is the one
+/// file out of scope.
+const FLOAT_ACC_SCOPES: &[&str] = &["crates/harl/src/"];
+
 /// Run every applicable rule on one file's source. Public so the fixture
 /// tests can aim rules at synthetic paths.
+///
+/// Two passes: the item graph is built once (`graph::Graph::build`), the
+/// token rules and the graph-aware semantic rules then share its
+/// `#[cfg(test)]` mask.
 pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
     let toks = lexer::lex(source);
-    let mask = lexer::test_mask(&toks);
+    let graph = graph::Graph::build(&toks);
+    let mask = graph.test_mask();
     let lines: Vec<&str> = source.lines().collect();
     let mut out = Vec::new();
     if in_scope(path, DETERMINISM_SCOPES) {
         rules::determinism(path, &toks, &mask, &lines, &mut out);
+        semantic::map_iteration_order(path, &toks, &mask, &lines, &graph, &mut out);
+        semantic::unordered_parallel_merge(path, &toks, &mask, &lines, &graph, &mut out);
+    }
+    if in_scope(path, FLOAT_ACC_SCOPES) && !path.ends_with("fold.rs") {
+        semantic::float_accumulation(path, &toks, &mask, &lines, &graph, &mut out);
     }
     if in_scope(path, PANIC_SCOPES) {
         rules::panic_hygiene(path, &toks, &mask, &lines, &mut out);
@@ -184,6 +207,9 @@ pub fn run(root: &Path, allow_path: &Path) -> Result<Report, String> {
         rules::RULE_RECORDED,
         rules::RULE_METRIC,
         rules::RULE_TWO_TIER,
+        rules::RULE_MAP_ITER,
+        rules::RULE_PAR_MERGE,
+        rules::RULE_FLOAT_ACC,
     ];
     for e in &allow_entries {
         if !known_rules.contains(&e.rule.as_str()) {
@@ -239,13 +265,14 @@ pub fn run(root: &Path, allow_path: &Path) -> Result<Report, String> {
     }
     for (e, &n) in allow_entries.iter().zip(&hits) {
         if n == 0 {
+            let (id, _) = rules::rule_doc(&e.rule);
             findings.push(Finding {
                 rule: rules::RULE_STALE_ALLOW.to_string(),
                 path: "lint.allow.toml".to_string(),
                 line: e.line,
                 message: format!(
-                    "allow entry (rule `{}`, path `{}`, pattern `{}`) matches nothing — the \
-                     violation was fixed, so delete the entry",
+                    "allow entry for {id} (rule `{}`, path `{}`, pattern `{}`) matches nothing — \
+                     the violation was fixed, so delete the entry",
                     e.rule, e.path, e.pattern
                 ),
                 snippet: format!("pattern = \"{}\"", e.pattern),
@@ -409,6 +436,10 @@ mod tests {
             rules::RULE_SIMCONTEXT,
             rules::RULE_RECORDED,
             rules::RULE_METRIC,
+            rules::RULE_TWO_TIER,
+            rules::RULE_MAP_ITER,
+            rules::RULE_PAR_MERGE,
+            rules::RULE_FLOAT_ACC,
             rules::RULE_STALE_ALLOW,
         ] {
             let (id, doc) = rules::rule_doc(rule);

@@ -25,6 +25,12 @@ pub const RULE_RECORDED: &str = "recorded-twins";
 pub const RULE_METRIC: &str = "metric-registry";
 /// See [`two_tier_hygiene`].
 pub const RULE_TWO_TIER: &str = "two-tier-hygiene";
+/// See [`crate::semantic::map_iteration_order`].
+pub const RULE_MAP_ITER: &str = "map-iteration-order";
+/// See [`crate::semantic::unordered_parallel_merge`].
+pub const RULE_PAR_MERGE: &str = "unordered-parallel-merge";
+/// See [`crate::semantic::float_accumulation`].
+pub const RULE_FLOAT_ACC: &str = "float-accumulation";
 /// Emitted by the allowlist pass for entries that match nothing.
 pub const RULE_STALE_ALLOW: &str = "stale-allow";
 
@@ -41,6 +47,9 @@ pub fn rule_doc(rule: &str) -> (&'static str, &'static str) {
         RULE_RECORDED => ("HL006", "DESIGN.md#rules-and-scopes"),
         RULE_METRIC => ("HL007", "DESIGN.md#rules-and-scopes"),
         RULE_TWO_TIER => ("HL008", "DESIGN.md#rules-and-scopes"),
+        RULE_MAP_ITER => ("HL009", "DESIGN.md#rules-and-scopes"),
+        RULE_PAR_MERGE => ("HL010", "DESIGN.md#rules-and-scopes"),
+        RULE_FLOAT_ACC => ("HL011", "DESIGN.md#rules-and-scopes"),
         RULE_STALE_ALLOW => ("HL000", "DESIGN.md#the-allowlist-ratchet"),
         _ => (
             "HL999",
@@ -60,7 +69,7 @@ const INT_TYPES: &[&str] = &[
 /// `clippy::float_cmp` on the same modules is the type-aware backstop.
 const FLOAT_NAMES: &[&str] = &["cost", "best_cost", "wall_s", "predicted", "residual"];
 
-fn push(
+pub(crate) fn push(
     out: &mut Vec<Finding>,
     rule: &str,
     path: &str,

@@ -1,0 +1,36 @@
+// The cfg(test) mask must silence the semantic rules inside a
+// `#[cfg(test)]` impl block and inside a nested mod under
+// `#[cfg(test)] mod tests` — the two shapes the old flat attribute scan
+// got wrong. The single unmasked trigger at the bottom proves the rules
+// still run on the rest of the file.
+use std::collections::HashMap;
+
+pub struct T;
+
+#[cfg(test)]
+impl T {
+    fn helper(xs: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for x in xs {
+            acc += *x;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    mod nested {
+        use std::collections::HashMap;
+
+        pub fn leak(m: &HashMap<u64, u64>, out: &mut Vec<u64>) {
+            for k in m.keys() {
+                out.push(*k);
+            }
+        }
+    }
+}
+
+pub fn unmasked(xs: &[f64]) -> f64 {
+    xs.iter().copied().sum::<f64>()
+}

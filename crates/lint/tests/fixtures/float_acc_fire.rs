@@ -1,0 +1,25 @@
+// HL011 triggers: f64 accumulation with implicit order. Four shapes —
+// `+=` on a floaty local in a loop, a `sum::<f64>()` turbofish, a
+// `let …: f64 = ….sum();` annotation, and a bare `.sum()` in tail
+// position of a `-> f64` function.
+
+pub fn plus_eq(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += *x;
+    }
+    acc
+}
+
+pub fn turbo(xs: &[f64]) -> f64 {
+    xs.iter().copied().sum::<f64>()
+}
+
+pub fn annotated(xs: &[f64]) {
+    let total: f64 = xs.iter().copied().sum();
+    let _ = total;
+}
+
+pub fn tail(xs: &[f64]) -> f64 {
+    xs.iter().copied().sum()
+}

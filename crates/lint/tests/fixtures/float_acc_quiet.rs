@@ -1,0 +1,32 @@
+// HL011 counter-examples: accumulation through the fixed-order fold
+// helpers, integer accumulation (including the `0usize`-style suffix that
+// once tripped the float heuristic), and `+=` outside any loop.
+
+pub fn pinned(xs: &[f64]) -> f64 {
+    crate::fold::sum_f64(xs.iter().copied())
+}
+
+pub fn ordered(xs: &[f64]) -> f64 {
+    let mut acc = crate::fold::OrderedSum::new();
+    for x in xs {
+        acc.add(*x);
+    }
+    acc.value()
+}
+
+pub fn int_sum(xs: &[u64]) -> u64 {
+    let mut total = 0u64;
+    let mut count = 0usize;
+    for x in xs {
+        total += *x;
+        count += 1;
+    }
+    xs.iter().copied().sum::<u64>() + total + count as u64
+}
+
+pub fn not_in_loop(a: f64, b: f64) -> f64 {
+    let mut acc = 0.0;
+    acc += a;
+    acc += b;
+    acc
+}

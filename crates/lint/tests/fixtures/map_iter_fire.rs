@@ -1,0 +1,21 @@
+// HL009 triggers: hash-container iteration reaching an output path with
+// no ordering step. Three shapes: a for-loop over a local, an `.iter()`
+// chain on a parameter, and an unsorted `.keys().collect()` binding.
+use std::collections::{HashMap, HashSet};
+
+pub fn emit(order: &mut Vec<u64>) {
+    let m: HashMap<u64, u64> = HashMap::new();
+    for (k, _v) in &m {
+        order.push(*k);
+    }
+}
+
+pub fn from_param(seen: &HashSet<u64>, out: &mut Vec<u64>) {
+    out.extend(seen.iter().copied());
+}
+
+pub fn chained() -> Vec<u64> {
+    let m: HashMap<u64, u64> = HashMap::new();
+    let ks: Vec<u64> = m.keys().copied().collect();
+    ks
+}

@@ -1,0 +1,27 @@
+// HL009 counter-examples: every hash-container iteration here is
+// order-safe — sorted right after collecting, reduced by an
+// order-insensitive aggregate, rehomed into a BTreeMap, or not a hash
+// container at all.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn sorted_emit(order: &mut Vec<u64>) {
+    let m: HashMap<u64, u64> = HashMap::new();
+    let mut ks: Vec<u64> = m.keys().copied().collect();
+    ks.sort_unstable();
+    order.extend(ks);
+}
+
+pub fn aggregate(m: &HashMap<u64, u64>) -> usize {
+    m.values().count()
+}
+
+pub fn rehomed(m: &HashMap<u64, u64>) -> BTreeMap<u64, u64> {
+    m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<u64, u64>>()
+}
+
+pub fn ordered(b: &BTreeMap<u64, u64>, out: &mut Vec<u64>) {
+    let _present: HashSet<u64> = HashSet::new();
+    for (k, _v) in b {
+        out.push(*k);
+    }
+}

@@ -1,0 +1,23 @@
+// HL010 triggers: parallel results merged in arrival order. Two shapes —
+// a channel-draining loop that appends, and a spawned worker pushing to a
+// shared locked collection.
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub fn drain(rx: &Receiver<(u32, u64)>) -> Vec<(u32, u64)> {
+    let mut out = Vec::new();
+    while let Ok(pair) = rx.recv() {
+        out.push(pair);
+    }
+    out
+}
+
+pub fn gather(results: &Mutex<Vec<u64>>) {
+    std::thread::scope(|s| {
+        for w in 0..4u64 {
+            s.spawn(move || {
+                results.lock().unwrap().push(w);
+            });
+        }
+    });
+}

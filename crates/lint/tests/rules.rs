@@ -169,3 +169,77 @@ fn two_tier_hygiene_skips_the_compat_modules() {
     let rules = rules_at("crates/harl/src/compat.rs", "two_tier_fire.rs");
     assert_eq!(count(&rules, "two-tier-hygiene"), 0, "{rules:?}");
 }
+
+// A path inside the float-accumulation scope (crates/harl/src/, any file
+// but fold.rs itself).
+const FLOAT_PATH: &str = "crates/harl/src/fixture.rs";
+
+#[test]
+fn map_iteration_order_fires() {
+    let rules = rules_at(LIB_PATH, "map_iter_fire.rs");
+    // A for-loop over a HashMap local, `.iter()` on a HashSet parameter,
+    // and an unsorted `.keys().collect()`.
+    assert_eq!(count(&rules, "map-iteration-order"), 3, "{rules:?}");
+}
+
+#[test]
+fn map_iteration_order_stays_quiet() {
+    let rules = rules_at(LIB_PATH, "map_iter_quiet.rs");
+    assert_eq!(count(&rules, "map-iteration-order"), 0, "{rules:?}");
+}
+
+#[test]
+fn map_iteration_order_is_scoped_to_determinism_crates() {
+    let rules = rules_at("crates/bench/src/fixture.rs", "map_iter_fire.rs");
+    assert_eq!(count(&rules, "map-iteration-order"), 0, "{rules:?}");
+}
+
+#[test]
+fn unordered_parallel_merge_fires() {
+    let rules = rules_at(LIB_PATH, "merge_fire.rs");
+    // A channel-draining push loop and a spawned worker pushing under a
+    // lock.
+    assert_eq!(count(&rules, "unordered-parallel-merge"), 2, "{rules:?}");
+}
+
+#[test]
+fn unordered_parallel_merge_stays_quiet() {
+    // Indexed-store consumer, sort-after-drain, lock-free private buffer,
+    // and innermost-loop attribution of the recv.
+    let rules = rules_at(LIB_PATH, "merge_quiet.rs");
+    assert_eq!(count(&rules, "unordered-parallel-merge"), 0, "{rules:?}");
+}
+
+#[test]
+fn float_accumulation_fires() {
+    let rules = rules_at(FLOAT_PATH, "float_acc_fire.rs");
+    // `+=` in a loop, a `sum::<f64>()` turbofish, a `let …: f64` sum, and
+    // a tail-position sum in a `-> f64` fn.
+    assert_eq!(count(&rules, "float-accumulation"), 4, "{rules:?}");
+}
+
+#[test]
+fn float_accumulation_stays_quiet() {
+    let rules = rules_at(FLOAT_PATH, "float_acc_quiet.rs");
+    assert_eq!(count(&rules, "float-accumulation"), 0, "{rules:?}");
+}
+
+#[test]
+fn float_accumulation_is_scoped_to_model_code() {
+    // The same triggers outside crates/harl/src/ are out of scope, and
+    // fold.rs itself (which defines the helpers) is exempt.
+    let rules = rules_at(LIB_PATH, "float_acc_fire.rs");
+    assert_eq!(count(&rules, "float-accumulation"), 0, "{rules:?}");
+    let rules = rules_at("crates/harl/src/fold.rs", "float_acc_fire.rs");
+    assert_eq!(count(&rules, "float-accumulation"), 0, "{rules:?}");
+}
+
+#[test]
+fn cfg_test_mask_silences_semantic_rules() {
+    // Triggers inside a `#[cfg(test)]` impl and a nested mod under
+    // `#[cfg(test)] mod tests` are masked; the one unmasked trigger at
+    // the bottom of the fixture still fires.
+    let rules = rules_at(FLOAT_PATH, "cfg_mask_quiet.rs");
+    assert_eq!(count(&rules, "float-accumulation"), 1, "{rules:?}");
+    assert_eq!(count(&rules, "map-iteration-order"), 0, "{rules:?}");
+}

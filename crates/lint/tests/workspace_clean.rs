@@ -21,14 +21,14 @@ fn workspace_is_lint_clean() {
         "workspace has lint violations:\n{}",
         violations.join("\n")
     );
-    // The eight documented exceptions (DESIGN.md Appendix D) and nothing
+    // The nine documented exceptions (DESIGN.md Appendix D) and nothing
     // else; growing this list is a reviewed decision, not a drive-by.
     assert_eq!(
-        report.allow_entries, 8,
-        "allowlist should hold exactly the eight documented exceptions"
+        report.allow_entries, 9,
+        "allowlist should hold exactly the nine documented exceptions"
     );
     assert!(
-        report.findings.iter().filter(|f| f.allowed).count() >= 8,
+        report.findings.iter().filter(|f| f.allowed).count() >= 9,
         "every allow entry should match at least one finding"
     );
     assert!(

@@ -36,6 +36,17 @@
 //! Wall-clock latency accounting therefore lives in the bench crate
 //! (`harl-cli bench-serve`), never here.
 
+// Index/iteration hygiene, ratcheted to deny: the batching and merge
+// paths in this module are exactly where an indexed loop can silently
+// reorder a deterministic merge.
+#![deny(
+    clippy::explicit_iter_loop,
+    clippy::explicit_into_iter_loop,
+    clippy::needless_range_loop,
+    clippy::range_plus_one,
+    clippy::range_minus_one
+)]
+
 use harl_core::{
     fingerprint_sorted, plan_file_with, CacheLookup, CacheStats, CachedPlan, MultiProfileModel,
     OnlineConfig, OnlineMonitor, OptimizerConfig, PlanCache, PlanReuse, RegionDivisionConfig,

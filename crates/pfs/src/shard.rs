@@ -187,7 +187,11 @@ impl ShardPool {
                         mut out,
                     } = job;
                     acquire_group(env, g, now, op, &subs, |i, grant| {
-                        out.push((i as u32, grant));
+                        // Each pushed pair is keyed by sub-request index
+                        // `i`; the consumer (`fanout_grants`) stores it at
+                        // `grants[i]`, so per-batch arrival order cannot
+                        // leak into the result.
+                        out.push((i as u32, grant)); // lint: audited-order
                     });
                     if rtx.send(out).is_err() {
                         break;
